@@ -1,0 +1,77 @@
+"""Ablation (Section V-D): GreedyReplace's two ingredients.
+
+GR = (out-neighbour initialisation) + (reverse-order replacement).
+Table III's toy example shows plain greedy wins at small b and
+out-neighbour blocking wins at large b; GR should match the best of
+both at every budget.  This ablation compares, across a budget sweep:
+
+* AG   — plain greedy (no out-neighbour restriction),
+* ON   — out-neighbour phase only (GR without replacement),
+* GR   — the full algorithm.
+
+Expected shape: spread(GR) <= min(spread(AG), spread(ON)) up to
+sampling noise at every budget.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    evaluate_spread,
+    format_table,
+    pick_seeds,
+    prepare_graph,
+)
+from repro.core import advanced_greedy, greedy_replace, out_neighbors_blockers
+from repro.datasets import load_dataset
+
+from .conftest import bench_eval_rounds, bench_scale, bench_theta, emit
+
+BUDGETS = (2, 5, 10, 20)
+NUM_SEEDS = 5
+
+
+def run_component_ablation() -> list[list[object]]:
+    graph = prepare_graph(
+        load_dataset("facebook", bench_scale()), "tr", rng=111
+    )
+    seeds = pick_seeds(graph, NUM_SEEDS, rng=111)
+    rows = []
+    for budget in BUDGETS:
+        ag = advanced_greedy(
+            graph, seeds, budget, theta=bench_theta() * 3, rng=112
+        ).blockers
+        on = out_neighbors_blockers(
+            graph, seeds, budget, theta=bench_theta() * 3, rng=113
+        )
+        gr = greedy_replace(
+            graph, seeds, budget, theta=bench_theta() * 3, rng=114
+        ).blockers
+        spread = {
+            name: evaluate_spread(
+                graph, seeds, chosen, rounds=bench_eval_rounds(), rng=99
+            )
+            for name, chosen in (("AG", ag), ("ON", on), ("GR", gr))
+        }
+        rows.append(
+            [
+                budget,
+                round(spread["AG"], 3),
+                round(spread["ON"], 3),
+                round(spread["GR"], 3),
+                round(min(spread["AG"], spread["ON"]) - spread["GR"], 3),
+            ]
+        )
+    return rows
+
+
+def test_ablation_gr_components(benchmark):
+    rows = benchmark.pedantic(run_component_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["b", "AG spread", "ON spread", "GR spread", "GR gain vs best"],
+        rows,
+        title=(
+            "Ablation §V-D — GR vs its components "
+            f"(facebook stand-in, TR model, |S|={NUM_SEEDS})"
+        ),
+    )
+    emit("ablation_gr_components", table)

@@ -1,0 +1,91 @@
+"""Ablation: fresh samples per round (AG) vs one fixed pool (static).
+
+Plain AdvancedGreedy redraws theta sampled graphs each round; the
+sample-reuse variant draws one pool and evaluates every round on it
+(common random numbers).  This ablation measures both sides of the
+trade: runtime saved by skipping per-round sampling, and the quality
+effect of pool reuse (potential overfitting to one pool).  Expected
+shape: near-identical spreads, modest runtime edge for reuse on
+sampling-bound workloads.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import (
+    evaluate_spread,
+    format_table,
+    pick_seeds,
+    prepare_graph,
+)
+from repro.core import advanced_greedy, static_sample_greedy
+from repro.datasets import load_dataset
+
+from .conftest import bench_eval_rounds, bench_scale, bench_theta, emit
+
+BUDGET = 10
+NUM_SEEDS = 5
+DATASETS = ("email-core", "twitter")
+
+
+def run_sample_reuse_ablation() -> list[list[object]]:
+    rows = []
+    for key in DATASETS:
+        for model in ("tr", "wc"):
+            graph = prepare_graph(
+                load_dataset(key, bench_scale()), model, rng=141
+            )
+            seeds = pick_seeds(graph, NUM_SEEDS, rng=141)
+
+            start = time.perf_counter()
+            fresh = advanced_greedy(
+                graph, seeds, BUDGET, theta=bench_theta(), rng=142
+            )
+            fresh_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            reuse = static_sample_greedy(
+                graph, seeds, BUDGET, theta=bench_theta(), rng=143
+            )
+            reuse_time = time.perf_counter() - start
+
+            fresh_spread = evaluate_spread(
+                graph, seeds, fresh.blockers,
+                rounds=bench_eval_rounds(), rng=99,
+            )
+            reuse_spread = evaluate_spread(
+                graph, seeds, reuse.blockers,
+                rounds=bench_eval_rounds(), rng=99,
+            )
+            rows.append(
+                [
+                    f"{key}/{model}",
+                    round(fresh_spread, 3),
+                    round(reuse_spread, 3),
+                    round(fresh_time, 2),
+                    round(reuse_time, 2),
+                ]
+            )
+    return rows
+
+
+def test_ablation_sample_reuse(benchmark):
+    rows = benchmark.pedantic(
+        run_sample_reuse_ablation, rounds=1, iterations=1
+    )
+    table = format_table(
+        [
+            "workload",
+            "AG spread (fresh)",
+            "static spread (reuse)",
+            "AG time (s)",
+            "static time (s)",
+        ],
+        rows,
+        title=(
+            "Ablation — fresh samples per round vs fixed pool "
+            f"(b={BUDGET}, theta={bench_theta()})"
+        ),
+    )
+    emit("ablation_sample_reuse", table)

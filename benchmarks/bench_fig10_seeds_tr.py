@@ -1,0 +1,61 @@
+"""Figure 10: GR running time vs number of seeds (TR model).
+
+The paper fixes b = 100 and grows |S| from 1 to 1000, observing that
+runtime grows sub-linearly in the seed count (the sampled-graph size,
+not the seed count, drives the cost).  We sweep a scaled seed ladder on
+every stand-in and report the runtime growth ratio, expecting it to
+stay far below the seed-count growth ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import format_table, pick_seeds, prepare_graph
+from repro.core import greedy_replace
+from repro.datasets import dataset_keys, load_dataset
+
+from .conftest import bench_scale, bench_theta, emit
+
+SEED_COUNTS = (1, 10, 100)
+BUDGET = 20
+MODEL = "tr"
+RESULT_FILE = "fig10_seeds_tr"
+FIGURE = "Figure 10"
+
+
+def run_seed_sweep() -> list[list[object]]:
+    rows = []
+    for key in dataset_keys():
+        graph = prepare_graph(
+            load_dataset(key, bench_scale()), MODEL, rng=81
+        )
+        times = []
+        for count in SEED_COUNTS:
+            seeds = pick_seeds(graph, count, rng=81)
+            start = time.perf_counter()
+            greedy_replace(
+                graph, seeds, BUDGET, theta=bench_theta(), rng=82
+            )
+            times.append(time.perf_counter() - start)
+        growth = times[-1] / max(times[0], 1e-9)
+        rows.append([key, *(round(t, 3) for t in times), round(growth, 2)])
+    return rows
+
+
+def test_fig10_seeds_tr(benchmark):
+    rows = benchmark.pedantic(run_seed_sweep, rounds=1, iterations=1)
+    seed_growth = SEED_COUNTS[-1] / SEED_COUNTS[0]
+    table = format_table(
+        [
+            "dataset",
+            *(f"t(s) |S|={c}" for c in SEED_COUNTS),
+            f"time growth (seeds grew {seed_growth:.0f}x)",
+        ],
+        rows,
+        title=(
+            f"{FIGURE} — GR running time vs number of seeds "
+            f"({MODEL.upper()} model, b={BUDGET})"
+        ),
+    )
+    emit(RESULT_FILE, table)

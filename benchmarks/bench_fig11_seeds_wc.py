@@ -1,0 +1,52 @@
+"""Figure 11: GR running time vs number of seeds (WC model).
+
+Same protocol as Figure 10 under weighted-cascade probabilities.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import format_table, pick_seeds, prepare_graph
+from repro.core import greedy_replace
+from repro.datasets import dataset_keys, load_dataset
+
+from .conftest import bench_scale, bench_theta, emit
+
+SEED_COUNTS = (1, 10, 100)
+BUDGET = 20
+
+
+def run_seed_sweep_wc() -> list[list[object]]:
+    rows = []
+    for key in dataset_keys():
+        graph = prepare_graph(load_dataset(key, bench_scale()), "wc")
+        times = []
+        for count in SEED_COUNTS:
+            seeds = pick_seeds(graph, count, rng=91)
+            start = time.perf_counter()
+            greedy_replace(
+                graph, seeds, BUDGET, theta=bench_theta(), rng=92
+            )
+            times.append(time.perf_counter() - start)
+        growth = times[-1] / max(times[0], 1e-9)
+        rows.append([key, *(round(t, 3) for t in times), round(growth, 2)])
+    return rows
+
+
+def test_fig11_seeds_wc(benchmark):
+    rows = benchmark.pedantic(run_seed_sweep_wc, rounds=1, iterations=1)
+    seed_growth = SEED_COUNTS[-1] / SEED_COUNTS[0]
+    table = format_table(
+        [
+            "dataset",
+            *(f"t(s) |S|={c}" for c in SEED_COUNTS),
+            f"time growth (seeds grew {seed_growth:.0f}x)",
+        ],
+        rows,
+        title=(
+            f"Figure 11 — GR running time vs number of seeds "
+            f"(WC model, b={BUDGET})"
+        ),
+    )
+    emit("fig11_seeds_wc", table)

@@ -1,0 +1,60 @@
+"""Figure 6: running time vs number of sampled graphs.
+
+The paper shows GR's runtime growing roughly linearly in theta across
+all datasets.  We time the same theta ladder as Figure 5 (budget 20,
+10 seeds, TR model) and report seconds per dataset — the expected shape
+is monotone, near-proportional growth.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import format_table, pick_seeds, prepare_graph
+from repro.core import greedy_replace
+from repro.datasets import dataset_keys, load_dataset
+
+from .conftest import bench_scale, bench_theta, emit
+
+BUDGET = 20
+NUM_SEEDS = 10
+
+
+def _sweep() -> list[list[object]]:
+    theta_ladder = [
+        max(10, bench_theta() // 4),
+        bench_theta(),
+        bench_theta() * 4,
+    ]
+    rows = []
+    for key in dataset_keys():
+        graph = prepare_graph(load_dataset(key, bench_scale()), "tr", rng=5)
+        seeds = pick_seeds(graph, NUM_SEEDS, rng=5)
+        times = []
+        for theta in theta_ladder:
+            start = time.perf_counter()
+            greedy_replace(graph, seeds, BUDGET, theta=theta, rng=11)
+            times.append(time.perf_counter() - start)
+        growth = times[-1] / max(times[0], 1e-9)
+        rows.append([key, *(round(t, 3) for t in times), round(growth, 2)])
+    return rows
+
+
+def test_fig6_theta_runtime(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    theta = bench_theta()
+    table = format_table(
+        [
+            "dataset",
+            f"t(s) θ={max(10, theta // 4)}",
+            f"t(s) θ={theta}",
+            f"t(s) θ={theta * 4}",
+            "growth low→high (16x θ)",
+        ],
+        rows,
+        title=(
+            "Figure 6 — GR running time vs theta "
+            f"(TR model, b={BUDGET}, |S|={NUM_SEEDS})"
+        ),
+    )
+    emit("fig6_theta_runtime", table)

@@ -1,0 +1,81 @@
+"""Figure 9: running time vs budget (Facebook and DBLP stand-ins).
+
+The paper sweeps the budget and observes (i) AG/GR orders of magnitude
+below BG, (ii) AG's time growing with b while GR's replacement phase
+with early termination can make GR *cheaper* than AG at large budgets.
+We sweep budgets on both stand-ins under both models with AG and GR
+(BG is covered by Figures 7/8 and would dominate the wall-clock here).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import format_series, pick_seeds, prepare_graph
+from repro.core import advanced_greedy, greedy_replace
+from repro.datasets import load_dataset
+
+from .conftest import bench_scale, bench_theta, emit
+
+BUDGETS = (1, 5, 10, 20, 40)
+NUM_SEEDS = 10
+
+
+def run_budget_sweep(dataset: str, model: str) -> dict[str, list[float]]:
+    graph = prepare_graph(
+        load_dataset(dataset, bench_scale()), model, rng=71
+    )
+    seeds = pick_seeds(graph, NUM_SEEDS, rng=71)
+    ag_times = []
+    gr_times = []
+    for budget in BUDGETS:
+        start = time.perf_counter()
+        advanced_greedy(graph, seeds, budget, theta=bench_theta(), rng=72)
+        ag_times.append(round(time.perf_counter() - start, 3))
+        start = time.perf_counter()
+        greedy_replace(graph, seeds, budget, theta=bench_theta(), rng=73)
+        gr_times.append(round(time.perf_counter() - start, 3))
+    return {"AG (s)": ag_times, "GR (s)": gr_times}
+
+
+def _emit(dataset: str, model: str, series: dict[str, list[float]]) -> None:
+    emit(
+        "fig9_budget",
+        format_series(
+            "budget",
+            list(BUDGETS),
+            series,
+            title=(
+                f"Figure 9 — running time vs budget "
+                f"({dataset}, {model.upper()} model, |S|={NUM_SEEDS})"
+            ),
+        ),
+    )
+
+
+def test_fig9a_facebook_tr(benchmark):
+    series = benchmark.pedantic(
+        run_budget_sweep, args=("facebook", "tr"), rounds=1, iterations=1
+    )
+    _emit("facebook", "tr", series)
+
+
+def test_fig9b_facebook_wc(benchmark):
+    series = benchmark.pedantic(
+        run_budget_sweep, args=("facebook", "wc"), rounds=1, iterations=1
+    )
+    _emit("facebook", "wc", series)
+
+
+def test_fig9c_dblp_tr(benchmark):
+    series = benchmark.pedantic(
+        run_budget_sweep, args=("dblp", "tr"), rounds=1, iterations=1
+    )
+    _emit("dblp", "tr", series)
+
+
+def test_fig9d_dblp_wc(benchmark):
+    series = benchmark.pedantic(
+        run_budget_sweep, args=("dblp", "wc"), rounds=1, iterations=1
+    )
+    _emit("dblp", "wc", series)

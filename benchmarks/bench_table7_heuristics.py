@@ -1,0 +1,96 @@
+"""Table VII: expected spread of RA / OD / AG / GR across all datasets.
+
+The paper's largest table: for each of the 8 datasets, both propagation
+models and budgets 20..100, it reports the final expected spread of
+Rand, OutDegree, AdvancedGreedy and GreedyReplace (10 random seeds,
+evaluated with 10^5 MCS rounds).  Expected shape: GR <= AG << OD < RA
+everywhere, with the gap widening as the budget grows.
+
+We run budgets scaled to our stand-in sizes and evaluate with a smaller
+(but shared) MCS pass.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    evaluate_spread,
+    format_table,
+    pick_seeds,
+    prepare_graph,
+)
+from repro.core import (
+    advanced_greedy,
+    greedy_replace,
+    out_degree_blockers,
+    random_blockers,
+)
+from repro.datasets import dataset_keys, load_dataset
+
+from .conftest import bench_eval_rounds, bench_scale, bench_theta, emit
+
+BUDGETS = (5, 10, 20)
+NUM_SEEDS = 10
+
+
+def run_model(model: str) -> list[list[object]]:
+    rows = []
+    for key in dataset_keys():
+        graph = prepare_graph(
+            load_dataset(key, bench_scale()), model, rng=41
+        )
+        seeds = pick_seeds(graph, NUM_SEEDS, rng=41)
+        for budget in BUDGETS:
+            blockers = {
+                "RA": random_blockers(graph, seeds, budget, rng=42),
+                "OD": out_degree_blockers(graph, seeds, budget),
+                "AG": advanced_greedy(
+                    graph, seeds, budget, theta=bench_theta(), rng=43
+                ).blockers,
+                "GR": greedy_replace(
+                    graph, seeds, budget, theta=bench_theta(), rng=44
+                ).blockers,
+            }
+            spreads = {
+                name: evaluate_spread(
+                    graph, seeds, chosen,
+                    rounds=bench_eval_rounds(), rng=99,
+                )
+                for name, chosen in blockers.items()
+            }
+            rows.append(
+                [
+                    key,
+                    budget,
+                    round(spreads["RA"], 3),
+                    round(spreads["OD"], 3),
+                    round(spreads["AG"], 3),
+                    round(spreads["GR"], 3),
+                ]
+            )
+    return rows
+
+
+def test_table7_tr_model(benchmark):
+    rows = benchmark.pedantic(run_model, args=("tr",), rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "b", "RA", "OD", "AG", "GR"],
+        rows,
+        title=(
+            "Table VII (TR model) — expected spread by algorithm "
+            f"(|S|={NUM_SEEDS})"
+        ),
+    )
+    emit("table7_heuristics", table)
+
+
+def test_table7_wc_model(benchmark):
+    rows = benchmark.pedantic(run_model, args=("wc",), rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "b", "RA", "OD", "AG", "GR"],
+        rows,
+        title=(
+            "Table VII (WC model) — expected spread by algorithm "
+            f"(|S|={NUM_SEEDS})"
+        ),
+    )
+    emit("table7_heuristics", table)

@@ -1,0 +1,56 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's
+Section VI at laptop scale.  Scale knobs (environment variables):
+
+``REPRO_BENCH_SCALE``
+    Multiplier on the dataset stand-in sizes (default 0.25).
+``REPRO_BENCH_THETA``
+    Sampled graphs per greedy round for AG/GR (default 100; the paper
+    uses 10^4 in C++ — Figure 5 shows quality is flat in theta).
+``REPRO_BENCH_EVAL_ROUNDS``
+    Monte-Carlo rounds for final spread evaluation (default 600; the
+    paper uses 10^5).
+
+Each run appends its rendered table to ``benchmarks/results/<name>.txt``
+so the output survives pytest's capture; run with ``-s`` to watch live.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def bench_theta() -> int:
+    return int(os.environ.get("REPRO_BENCH_THETA", "100"))
+
+
+def bench_eval_rounds() -> int:
+    return int(os.environ.get("REPRO_BENCH_EVAL_ROUNDS", "600"))
+
+
+_emitted_this_run: set[str] = set()
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/.
+
+    The first emit for a name in a pytest run truncates the file (so
+    re-running a benchmark replaces stale output); later emits for the
+    same name append (multi-part tables like Table VII).
+    """
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    mode = "a" if name in _emitted_this_run else "w"
+    _emitted_this_run.add(name)
+    with open(path, mode, encoding="utf-8") as handle:
+        handle.write(text)
+        handle.write("\n\n")

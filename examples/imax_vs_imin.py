@@ -1,0 +1,75 @@
+"""IMAX vs IMIN: the two sides of influence, on one network.
+
+Section V-B1 of the paper explains why the standard influence-
+*maximization* machinery (reverse influence sampling) does not solve
+influence-*minimization*.  This example makes the contrast concrete:
+
+1. the attacker picks the most influential accounts with RIS-greedy
+   (Borgs et al.) — the worst-case misinformation sources;
+2. the platform answers with GreedyReplace under a suspension budget;
+3. for comparison, the platform also tries "block the top influencers
+   we did not seed" (the IMAX ranking as a blocking heuristic) — which
+   is exactly the naive transfer the paper warns about.
+
+Run:  python examples/imax_vs_imin.py
+"""
+
+from repro import assign_trivalency, evaluate_spread, greedy_replace
+from repro.datasets import load_dataset
+from repro.imax import greedy_imax
+
+RNG = 13
+ATTACK_BUDGET = 8     # misinformation sources the attacker controls
+DEFENSE_BUDGET = 15   # accounts the platform can suspend
+THETA = 250
+EVAL_ROUNDS = 2000
+
+
+def main() -> None:
+    graph = assign_trivalency(load_dataset("wiki-vote", scale=0.5), rng=RNG)
+    print(f"network: n={graph.n}, m={graph.m}")
+
+    # 1. the attacker maximizes influence with RIS-greedy
+    attack = greedy_imax(graph, ATTACK_BUDGET, rr_count=4000, rng=RNG)
+    seeds = attack.seeds
+    outbreak = evaluate_spread(graph, seeds, [], rounds=EVAL_ROUNDS, rng=RNG)
+    print(
+        f"attacker's IMAX seeds ({ATTACK_BUDGET}): {sorted(seeds)}  "
+        f"-> expected outbreak {outbreak:.1f}"
+    )
+
+    # 2. the platform minimizes influence with GreedyReplace
+    defense = greedy_replace(
+        graph, seeds, DEFENSE_BUDGET, theta=THETA, rng=RNG
+    )
+    contained = evaluate_spread(
+        graph, seeds, defense.blockers, rounds=EVAL_ROUNDS, rng=RNG
+    )
+    print(
+        f"GreedyReplace blocking ({DEFENSE_BUDGET}): outbreak "
+        f"{outbreak:.1f} -> {contained:.1f} "
+        f"({100 * (1 - contained / outbreak):.1f}% reduction)"
+    )
+
+    # 3. the naive transfer: block the next-most-influential accounts
+    ranking = greedy_imax(
+        graph, ATTACK_BUDGET + DEFENSE_BUDGET, rr_count=4000, rng=RNG + 1
+    ).seeds
+    naive = [v for v in ranking if v not in set(seeds)][:DEFENSE_BUDGET]
+    naive_spread = evaluate_spread(
+        graph, seeds, naive, rounds=EVAL_ROUNDS, rng=RNG
+    )
+    print(
+        f"blocking top influencers instead:  outbreak "
+        f"{outbreak:.1f} -> {naive_spread:.1f} "
+        f"({100 * (1 - naive_spread / outbreak):.1f}% reduction)"
+    )
+    print(
+        "\ninfluence rank is about who *reaches* many vertices; blocking "
+        "is about who *stands between*\nthe seeds and the rest — the "
+        "dominator-tree estimator targets exactly the latter."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Section V-E extension: blocking under the Linear Threshold model.
+
+The triggering model generalises IC; the paper notes AG/GR work
+unchanged if the sampled graphs come from triggering-set draws.  This
+example runs GreedyReplace with the LT sampler on a collaboration
+network (DBLP stand-in) and verifies the chosen blockers against plain
+LT simulation.
+
+Run:  python examples/triggering_model.py
+"""
+
+from repro import assign_weighted_cascade
+from repro.bench import pick_seeds
+from repro.core import greedy_replace, random_blockers
+from repro.datasets import load_dataset
+from repro.graph import reachable_set_adj
+from repro.models import LinearThresholdSampler
+from repro.rng import ensure_rng
+
+RNG = 11
+BUDGET = 15
+THETA = 150
+
+
+def lt_expected_spread(graph, seeds, blockers, rounds=1500, rng=0) -> float:
+    """Expected LT spread by triggering-set live-edge simulation."""
+    sampler = LinearThresholdSampler(graph, ensure_rng(rng))
+    sampler.block(blockers)
+    csr = sampler.csr
+    src, dst = csr.src_list, csr.indices_list
+    total = 0
+    for _ in range(rounds):
+        succ: dict[int, list[int]] = {}
+        for j in sampler.sample_surviving_edges().tolist():
+            succ.setdefault(src[j], []).append(dst[j])
+        seen: set[int] = set()
+        for s in seeds:
+            if s not in seen:
+                seen |= reachable_set_adj(succ, s)
+        total += len(seen)
+    return total / rounds
+
+
+def main() -> None:
+    # WC weights (1 / in-degree) sum to 1 per vertex: the classic
+    # uniform LT instance
+    graph = assign_weighted_cascade(load_dataset("dblp", scale=0.5))
+    seeds = pick_seeds(graph, 8, rng=RNG)
+    print(f"network: n={graph.n}, m={graph.m}; seeds: {seeds}")
+
+    base = lt_expected_spread(graph, seeds, [], rng=RNG)
+    print(f"LT spread without blocking: {base:.1f}")
+
+    result = greedy_replace(
+        graph,
+        seeds,
+        BUDGET,
+        theta=THETA,
+        rng=RNG,
+        sampler_factory=lambda g, rng: LinearThresholdSampler(g, rng),
+    )
+    gr = lt_expected_spread(graph, seeds, result.blockers, rng=RNG)
+    print(f"GreedyReplace (LT sampler, b={BUDGET}): {gr:.1f}")
+
+    rand = random_blockers(graph, seeds, BUDGET, rng=RNG)
+    ra = lt_expected_spread(graph, seeds, rand, rng=RNG)
+    print(f"random blocking for comparison:        {ra:.1f}")
+
+    print(
+        f"\nGR cuts the LT spread by {100 * (1 - gr / base):.1f}% "
+        f"(random: {100 * (1 - ra / base):.1f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Plain-text table/series formatting for experiment output.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep the formatting consistent and
+capturable (``EXPERIMENTS.md`` is assembled from this output).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "print_banner"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule; floats get 4 significant
+    digits, which matches the paper's table precision."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A figure rendered as a table: one x column, one column per line."""
+    headers = [x_label, *series]
+    rows = [
+        [x, *(values[i] for values in series.values())]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def print_banner(text: str) -> None:
+    """Visually separated experiment banner on stdout."""
+    rule = "=" * max(48, len(text) + 4)
+    print(f"\n{rule}\n  {text}\n{rule}")
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,236 @@
+"""Command-line interface: ``repro-imin`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``datasets``
+    List the built-in dataset stand-ins with paper vs stand-in stats.
+``block``
+    Run a blocking algorithm on a dataset and print blockers + spread.
+``spread``
+    Estimate the expected spread of a seed set (optionally blocked).
+
+Examples
+--------
+::
+
+    repro-imin datasets
+    repro-imin block --dataset email-core --model tr --budget 10 \\
+        --algorithm gr --theta 200 --seeds 5 --rng 7
+    repro-imin spread --dataset facebook --model wc --seeds 3 --rng 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import evaluate_spread, pick_seeds, prepare_graph
+from .core import ALGORITHMS, solve_imin
+from .datasets import DATASETS, load_dataset
+from .sampling import estimate_spread_sampled
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-imin",
+        description=(
+            "Influence minimization via vertex blocking (ICDE 2023 "
+            "reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list built-in dataset stand-ins")
+
+    block = sub.add_parser("block", help="select blockers on a dataset")
+    _common_args(block)
+    block.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS + ("ag", "gr", "bg", "rand", "outdeg"),
+        default="greedy-replace",
+        help="blocking algorithm (default: greedy-replace)",
+    )
+    block.add_argument(
+        "--budget", type=int, default=10, help="max blockers b"
+    )
+    block.add_argument(
+        "--theta",
+        type=int,
+        default=200,
+        help="sampled graphs per round for ag/gr",
+    )
+    block.add_argument(
+        "--mcs-rounds",
+        type=int,
+        default=200,
+        help="Monte-Carlo rounds per evaluation for bg",
+    )
+
+    spread = sub.add_parser("spread", help="estimate expected spread")
+    _common_args(spread)
+    spread.add_argument(
+        "--theta", type=int, default=2000, help="sampled graphs"
+    )
+    spread.add_argument(
+        "--block",
+        type=int,
+        nargs="*",
+        default=[],
+        help="vertex ids to block before estimating",
+    )
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="reproduce one of the paper's tables/figures",
+    )
+    experiment.add_argument(
+        "key",
+        nargs="?",
+        default=None,
+        help="experiment id (omit to list all)",
+    )
+    return parser
+
+
+def _common_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--dataset",
+        default="email-core",
+        help="dataset key (see `repro-imin datasets`)",
+    )
+    sub.add_argument(
+        "--model", choices=("tr", "wc"), default="tr",
+        help="propagation probability model",
+    )
+    sub.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale factor"
+    )
+    sub.add_argument(
+        "--seeds", type=int, default=10, help="number of random seeds"
+    )
+    sub.add_argument("--rng", type=int, default=42, help="random seed")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "block":
+        return _cmd_block(args)
+    if args.command == "spread":
+        return _cmd_spread(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_datasets() -> int:
+    print(
+        f"{'key':<12}{'paper name':<12}{'directed':<10}"
+        f"{'paper n':>10}{'paper m':>10}  description"
+    )
+    for info in DATASETS.values():
+        print(
+            f"{info.key:<12}{info.paper_name:<12}"
+            f"{str(info.directed):<10}{info.paper_n:>10}{info.paper_m:>10}"
+            f"  {info.description}"
+        )
+    return 0
+
+
+def _load(args) -> tuple:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    graph = prepare_graph(graph, args.model, rng=args.rng)
+    seeds = pick_seeds(graph, args.seeds, rng=args.rng)
+    return graph, seeds
+
+
+_SHORT_NAMES = {
+    "ag": "advanced-greedy",
+    "gr": "greedy-replace",
+    "bg": "baseline-greedy",
+    "rand": "random",
+    "outdeg": "out-degree",
+}
+
+
+def _cmd_block(args) -> int:
+    graph, seeds = _load(args)
+    print(
+        f"dataset={args.dataset} n={graph.n} m={graph.m} "
+        f"model={args.model} seeds={seeds}"
+    )
+    algorithm = _SHORT_NAMES.get(args.algorithm, args.algorithm)
+    start = time.perf_counter()
+    blockers = solve_imin(
+        graph,
+        seeds,
+        args.budget,
+        algorithm=algorithm,
+        theta=args.theta,
+        mcs_rounds=args.mcs_rounds,
+        rng=args.rng,
+    ).blockers
+    elapsed = time.perf_counter() - start
+    spread = evaluate_spread(graph, seeds, blockers, rng=args.rng)
+    unblocked = evaluate_spread(graph, seeds, [], rng=args.rng)
+    print(f"algorithm={args.algorithm} time={elapsed:.3f}s")
+    print(f"blockers={sorted(blockers)}")
+    print(
+        f"expected spread: {unblocked:.3f} (unblocked) -> "
+        f"{spread:.3f} (blocked)"
+    )
+    return 0
+
+
+def _cmd_spread(args) -> int:
+    graph, seeds = _load(args)
+    blocked = [v for v in args.block if v not in set(seeds)]
+    if len(blocked) != len(args.block):
+        print("note: ignoring blocked ids that are seeds")
+    estimate = estimate_spread_sampled(
+        graph, seeds, theta=args.theta, rng=args.rng, blocked=blocked
+    )
+    low, high = estimate.confidence_interval()
+    print(
+        f"dataset={args.dataset} n={graph.n} m={graph.m} "
+        f"model={args.model} seeds={seeds} blocked={blocked}"
+    )
+    print(
+        f"expected spread = {estimate.mean:.3f} "
+        f"(95% CI [{low:.3f}, {high:.3f}], theta={estimate.theta})"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .bench import experiment_command, EXPERIMENTS
+
+    if args.key is None:
+        print(f"{'key':<22}{'paper item':<12}description")
+        for experiment in EXPERIMENTS.values():
+            print(
+                f"{experiment.key:<22}{experiment.paper_item:<12}"
+                f"{experiment.description}"
+            )
+        print(
+            "\nrun one with: repro-imin experiment <key>  "
+            "(from the repository root)"
+        )
+        return 0
+    try:
+        command = experiment_command(args.key)
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    print("+", " ".join(command))
+    import subprocess
+
+    return subprocess.call(command)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

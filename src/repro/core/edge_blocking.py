@@ -1,0 +1,167 @@
+"""Edge-blocking influence minimization (the link-blocking variant).
+
+The related work (Kimura et al., "Minimizing the spread of
+contamination by blocking links") studies the edge version of IMIN:
+remove at most ``k`` edges to minimize the expected spread.  The
+paper's dominator-tree estimator extends naturally to edges through a
+standard trick: *subdivide* every edge of the sampled graph with a
+middle vertex, so an edge of ``g`` becomes a vertex of ``g'`` and the
+vertices its blocking would strand are exactly the original vertices in
+its dominator subtree in ``g'``.  One Lengauer–Tarjan pass on ``g'``
+therefore scores every candidate edge at once, mirroring Algorithm 2.
+
+This module implements that estimator and the corresponding greedy
+(the edge analogue of AdvancedGreedy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..dominator import dominator_tree_arrays
+from ..graph import DiGraph
+from ..rng import ensure_rng, RngLike
+from ..sampling import ICSampler
+from .problem import unify_seeds
+
+__all__ = [
+    "EdgeBlockingResult",
+    "edge_decrease_computation",
+    "greedy_edge_blocking",
+]
+
+
+@dataclass(frozen=True)
+class EdgeBlockingResult:
+    """Chosen edges (as ``(u, v)`` pairs in original ids) and trace."""
+
+    edges: list[tuple[int, int]]
+    estimated_spread: float
+    round_spreads: list[float]
+    round_deltas: list[float]
+
+
+def edge_decrease_computation(
+    sampler: ICSampler,
+    source: int,
+    theta: int,
+    blocked_edges: Sequence[int] = (),
+) -> tuple[np.ndarray, float]:
+    """Expected-spread decrease of blocking each *edge* (CSR position).
+
+    Returns ``(delta, spread)`` where ``delta[j]`` estimates the spread
+    decrease if edge ``j`` were removed and ``spread`` estimates the
+    current expected spread.  Works by subdividing each surviving edge
+    with a middle vertex ``n + j`` and counting only original vertices
+    in the dominator subtrees.
+    """
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+    csr = sampler.csr
+    n = csr.n
+    src = csr.src_list
+    dst = csr.indices_list
+    banned = set(blocked_edges)
+
+    delta = np.zeros(csr.m, dtype=np.float64)
+    spread_total = 0
+    for _ in range(theta):
+        # subdivided sampled graph: u -> (n + j) -> v per surviving edge
+        succ: dict[int, list[int]] = {}
+        for j in sampler.sample_surviving_edges().tolist():
+            if j in banned:
+                continue
+            u = src[j]
+            middle = n + j
+            nbrs = succ.get(u)
+            if nbrs is None:
+                succ[u] = [middle]
+            else:
+                nbrs.append(middle)
+            succ[middle] = [dst[j]]
+        order, idom = dominator_tree_arrays(succ, source)
+        # weighted subtree sizes: middle vertices weigh 0
+        size = len(order)
+        weights = [1] * size
+        for i in range(1, size):
+            if order[i] >= n:
+                weights[i] = 0
+        for w in range(size - 1, 0, -1):
+            weights[idom[w]] += weights[w]
+        spread_total += weights[0]
+        for i in range(1, size):
+            vertex = order[i]
+            if vertex >= n:
+                delta[vertex - n] += weights[i]
+    delta /= theta
+    return delta, spread_total / theta
+
+
+def greedy_edge_blocking(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    budget: int,
+    theta: int = 1000,
+    rng: RngLike = None,
+) -> EdgeBlockingResult:
+    """Greedy edge removal driven by the subdivision estimator.
+
+    The edge analogue of AdvancedGreedy: each round scores every edge
+    with one estimator pass and removes the best one.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    gen = ensure_rng(rng)
+    unified = unify_seeds(graph, seeds)
+    sampler = ICSampler(unified.graph, gen)
+    csr = sampler.csr
+    source = unified.source
+
+    chosen_positions: list[int] = []
+    round_spreads: list[float] = []
+    round_deltas: list[float] = []
+    estimated = 0.0
+
+    for _ in range(max(1, min(budget, csr.m))):
+        delta, spread = edge_decrease_computation(
+            sampler, source, theta, blocked_edges=chosen_positions
+        )
+        if not chosen_positions:
+            estimated = spread
+        if len(chosen_positions) >= budget:
+            round_spreads.append(spread)
+            break
+        values = delta.tolist()
+        best = -1
+        best_value = 0.0
+        for j in range(csr.m):
+            if j not in chosen_positions and values[j] > best_value:
+                best = j
+                best_value = values[j]
+        round_spreads.append(spread)
+        if best < 0:
+            estimated = spread
+            break
+        chosen_positions.append(best)
+        sampler.block_edges([best])
+        round_deltas.append(best_value)
+        estimated = spread - best_value
+
+    def original_edge(position: int) -> tuple[int, int]:
+        u = unified.to_original[int(csr.src[position])]
+        v = unified.to_original[int(csr.indices[position])]
+        if u is None:
+            # edge out of the unified source corresponds to a seed edge;
+            # report it as (seed placeholder -1, target)
+            return (-1, v)  # type: ignore[return-value]
+        return (u, v)  # type: ignore[return-value]
+
+    return EdgeBlockingResult(
+        edges=[original_edge(j) for j in chosen_positions],
+        estimated_spread=unified.spread_to_original(estimated),
+        round_spreads=round_spreads,
+        round_deltas=round_deltas,
+    )

@@ -1,0 +1,148 @@
+"""Algorithm 4: GreedyReplace (GR).
+
+Motivation (Section V-D): with an unlimited budget the optimal blocking
+is exactly the seeds' out-neighbours, yet plain greedy may spend its
+budget on "deep" vertices and miss them (Example 3 / Table III).  GR
+therefore
+
+1. greedily picks ``min(d_out(s), b)`` blockers restricted to the
+   source's out-neighbours, then
+2. revisits the blockers in reverse insertion order and greedily
+   *replaces* each with the globally best vertex, terminating early the
+   first time the incumbent survives its own replacement round.
+
+When the source has fewer than ``b`` out-neighbours the remaining
+budget is spent with AdvancedGreedy rounds over all candidates —
+the paper's pseudocode leaves this case implicit; filling the budget is
+the natural reading of "returns the set B of b blockers".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph import DiGraph
+from ..rng import ensure_rng, RngLike
+from ..sampling import EdgeSampler, ICSampler
+from .advanced_greedy import BlockingResult, SamplerFactory
+from .decrease import decrease_es_computation
+from .problem import unify_seeds
+
+__all__ = ["greedy_replace"]
+
+
+def greedy_replace(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    budget: int,
+    theta: int = 1000,
+    rng: RngLike = None,
+    sampler_factory: SamplerFactory | None = None,
+    fill_budget: bool = True,
+) -> BlockingResult:
+    """GreedyReplace blocker selection (Algorithm 4).
+
+    Parameters mirror :func:`~repro.core.advanced_greedy.advanced_greedy`;
+    ``fill_budget=False`` reproduces the paper's literal pseudocode,
+    which leaves the blocker set smaller than ``b`` when the source has
+    fewer than ``b`` out-neighbours.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    gen = ensure_rng(rng)
+    unified = unify_seeds(graph, seeds)
+    if sampler_factory is None:
+        sampler: EdgeSampler = ICSampler(unified.graph, gen)
+    else:
+        sampler = sampler_factory(unified.graph, gen)
+    source = unified.source
+
+    blockers: list[int] = []
+    round_spreads: list[float] = []
+    round_deltas: list[float] = []
+    estimated = 0.0
+
+    # ------------------------------------------------------------------
+    # Phase 1: greedy over the source's out-neighbours (Lines 1-10).
+    # ------------------------------------------------------------------
+    candidate_blockers = set(unified.graph.out_neighbors(source))
+    phase1_rounds = min(len(candidate_blockers), budget)
+    for _ in range(phase1_rounds):
+        result = decrease_es_computation(sampler, source, theta, rng=gen)
+        x = _argmax(result.delta, candidate_blockers)
+        if x < 0:
+            break
+        candidate_blockers.discard(x)
+        sampler.block([x])
+        blockers.append(x)
+        round_spreads.append(result.spread)
+        round_deltas.append(float(result.delta[x]))
+        estimated = result.spread - float(result.delta[x])
+
+    # ------------------------------------------------------------------
+    # Phase 1b: out-degree smaller than the budget — fill greedily over
+    # all candidates (see module docstring).
+    # ------------------------------------------------------------------
+    if fill_budget:
+        while len(blockers) < min(budget, unified.graph.n - 1):
+            result = decrease_es_computation(sampler, source, theta, rng=gen)
+            exclude = set(blockers)
+            exclude.add(source)
+            x = result.best_vertex(exclude=exclude)
+            if x < 0 or result.delta[x] <= 0.0:
+                estimated = result.spread
+                round_spreads.append(result.spread)
+                break
+            sampler.block([x])
+            blockers.append(x)
+            round_spreads.append(result.spread)
+            round_deltas.append(float(result.delta[x]))
+            estimated = result.spread - float(result.delta[x])
+
+    # ------------------------------------------------------------------
+    # Phase 2: replacement in reverse insertion order (Lines 11-20).
+    # ------------------------------------------------------------------
+    for position in range(len(blockers) - 1, -1, -1):
+        u = blockers[position]
+        sampler.unblock([u])  # B <- B \ {u}
+        others = [b for b in blockers if b != u]
+        result = decrease_es_computation(sampler, source, theta, rng=gen)
+        exclude = set(others)
+        exclude.add(source)
+        x = result.best_vertex(exclude=exclude)
+        if x < 0:
+            x = u
+        sampler.block([x])
+        blockers[position] = x
+        round_spreads.append(result.spread)
+        round_deltas.append(float(result.delta[x]))
+        estimated = result.spread - float(result.delta[x])
+        if x == u:
+            # early termination: the incumbent is already the best
+            # choice, so earlier blockers would not change either
+            break
+
+    if not round_spreads:
+        result = decrease_es_computation(sampler, source, theta, rng=gen)
+        round_spreads.append(result.spread)
+        estimated = result.spread
+
+    return BlockingResult(
+        blockers=unified.blockers_to_original(blockers),
+        estimated_spread=unified.spread_to_original(estimated),
+        round_spreads=round_spreads,
+        round_deltas=round_deltas,
+    )
+
+
+def _argmax(delta, candidates: set[int]) -> int:
+    """Candidate with the largest estimated decrease (smallest id on
+    ties); -1 when no candidate has positive decrease."""
+    best = -1
+    best_value = 0.0
+    values = delta.tolist()
+    for u in sorted(candidates):
+        if values[u] > best_value:
+            best = u
+            best_value = values[u]
+    return best

@@ -1,0 +1,183 @@
+"""Simple blocker-selection heuristics.
+
+The paper compares against **Rand (RA)** and **OutDegree (OD)**
+(Table VII) and discusses degree- and betweenness-based selection from
+prior work (Albert et al., Yao et al.).  **OutNeighbors (ON)** — greedy
+restricted to the seeds' out-neighbours — is the Table III baseline
+that motivates GreedyReplace.  All heuristics return plain blocker
+lists in original vertex ids.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..rng import ensure_rng, RngLike
+from ..sampling import ICSampler
+from .decrease import decrease_es_computation
+from .problem import unify_seeds
+
+__all__ = [
+    "random_blockers",
+    "out_degree_blockers",
+    "degree_blockers",
+    "pagerank_blockers",
+    "out_neighbors_blockers",
+    "betweenness_blockers",
+]
+
+
+def random_blockers(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    budget: int,
+    rng: RngLike = None,
+) -> list[int]:
+    """RA: uniformly random non-seed blockers."""
+    gen = ensure_rng(rng)
+    seed_set = set(seeds)
+    pool = [v for v in graph.vertices() if v not in seed_set]
+    if budget >= len(pool):
+        return pool
+    picks = gen.choice(len(pool), size=budget, replace=False)
+    return [pool[i] for i in picks]
+
+
+def out_degree_blockers(
+    graph: DiGraph, seeds: Sequence[int], budget: int
+) -> list[int]:
+    """OD: the ``b`` non-seed vertices of highest out-degree."""
+    seed_set = set(seeds)
+    pool = [v for v in graph.vertices() if v not in seed_set]
+    pool.sort(key=lambda v: (-graph.out_degree(v), v))
+    return pool[:budget]
+
+
+def degree_blockers(
+    graph: DiGraph, seeds: Sequence[int], budget: int
+) -> list[int]:
+    """Total-degree variant (Albert et al.'s attack heuristic)."""
+    seed_set = set(seeds)
+    pool = [v for v in graph.vertices() if v not in seed_set]
+    pool.sort(key=lambda v: (-graph.degree(v), v))
+    return pool[:budget]
+
+
+def pagerank_blockers(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    budget: int,
+    damping: float = 0.85,
+    iterations: int = 50,
+) -> list[int]:
+    """Highest-PageRank non-seed vertices (power iteration)."""
+    n = graph.n
+    if n == 0:
+        return []
+    rank = np.full(n, 1.0 / n)
+    out_degree = np.array(
+        [graph.out_degree(v) for v in graph.vertices()], dtype=np.float64
+    )
+    preds = [graph.in_neighbors(v) for v in graph.vertices()]
+    for _ in range(iterations):
+        share = np.where(out_degree > 0, rank / np.maximum(out_degree, 1), 0.0)
+        dangling = rank[out_degree == 0].sum() / n
+        new_rank = np.full(n, (1.0 - damping) / n)
+        for v in range(n):
+            incoming = sum(share[u] for u in preds[v])
+            new_rank[v] += damping * (incoming + dangling)
+        rank = new_rank
+    seed_set = set(seeds)
+    pool = [v for v in graph.vertices() if v not in seed_set]
+    pool.sort(key=lambda v: (-rank[v], v))
+    return pool[:budget]
+
+
+def out_neighbors_blockers(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    budget: int,
+    theta: int = 1000,
+    rng: RngLike = None,
+) -> list[int]:
+    """ON: greedy blocking restricted to the seeds' out-neighbours.
+
+    This is GreedyReplace's phase 1 run alone — the Table III baseline
+    whose behaviour at large budgets motivated GR.  When the seeds have
+    fewer than ``budget`` out-neighbours, all of them are blocked.
+    """
+    gen = ensure_rng(rng)
+    unified = unify_seeds(graph, seeds)
+    sampler = ICSampler(unified.graph, gen)
+    source = unified.source
+    remaining = set(unified.graph.out_neighbors(source))
+    blockers: list[int] = []
+    for _ in range(min(budget, len(remaining))):
+        result = decrease_es_computation(sampler, source, theta, rng=gen)
+        values = result.delta.tolist()
+        x = max(sorted(remaining), key=lambda u: values[u])
+        remaining.discard(x)
+        sampler.block([x])
+        blockers.append(x)
+    return unified.blockers_to_original(blockers)
+
+
+def betweenness_blockers(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    budget: int,
+    pivots: int | None = None,
+    rng: RngLike = None,
+) -> list[int]:
+    """Betweenness + out-degree heuristic (Yao et al.).
+
+    Betweenness centrality is computed with Brandes' algorithm on
+    unweighted shortest paths, optionally from a random pivot sample
+    for speed; ties break towards higher out-degree (the combination
+    suggested in the related work).
+    """
+    gen = ensure_rng(rng)
+    n = graph.n
+    sources = list(graph.vertices())
+    if pivots is not None and pivots < n:
+        picked = gen.choice(n, size=pivots, replace=False)
+        sources = [int(s) for s in picked]
+    centrality = np.zeros(n, dtype=np.float64)
+    for s in sources:
+        centrality += _brandes_single_source(graph, s)
+    seed_set = set(seeds)
+    pool = [v for v in graph.vertices() if v not in seed_set]
+    pool.sort(key=lambda v: (-centrality[v], -graph.out_degree(v), v))
+    return pool[:budget]
+
+
+def _brandes_single_source(graph: DiGraph, s: int) -> np.ndarray:
+    """Single-source dependency accumulation of Brandes' algorithm."""
+    n = graph.n
+    sigma = np.zeros(n)
+    sigma[s] = 1.0
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[s] = 0
+    order: list[int] = []
+    parents: list[list[int]] = [[] for _ in range(n)]
+    queue = deque((s,))
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in graph.successors(u):
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+            if dist[v] == dist[u] + 1:
+                sigma[v] += sigma[u]
+                parents[v].append(u)
+    dependency = np.zeros(n)
+    for v in reversed(order):
+        for u in parents[v]:
+            dependency[u] += sigma[u] / sigma[v] * (1.0 + dependency[v])
+    dependency[s] = 0.0
+    return dependency

@@ -1,0 +1,162 @@
+"""IMIN problem definition and the multi-seed unification transform.
+
+Problem statement (Section III-B): given ``G``, edge probabilities, a
+seed set ``S`` and budget ``b``, find ``B ⊆ V \\ S`` with ``|B| <= b``
+minimising ``E(S, G[V \\ B])``.
+
+All paper algorithms are presented for a single seed; Section V's
+"From Multiple Seeds to One Seed" transform replaces the seed set by a
+unified source ``s'``: for each vertex ``u`` fed by seeds with
+probabilities ``p_1 .. p_h``, the seed edges are replaced by one edge
+``s' -> u`` with probability ``1 - prod(1 - p_i)``.  Because an active
+vertex gets exactly one activation attempt per out-edge, this preserves
+the distribution of the cascade over non-seed vertices, hence the
+optimal blocker set.  :func:`unify_seeds` implements the transform and
+records the bookkeeping needed to translate blockers and spreads back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..graph import DiGraph
+
+__all__ = ["IMINInstance", "UnifiedProblem", "unify_seeds"]
+
+
+@dataclass(frozen=True)
+class IMINInstance:
+    """An influence-minimization instance.
+
+    ``graph`` carries the propagation probabilities on its edges;
+    ``seeds`` are the misinformation sources; ``budget`` is the maximum
+    number of blockers.
+    """
+
+    graph: DiGraph
+    seeds: tuple[int, ...]
+    budget: int
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+        seen = set()
+        for s in self.seeds:
+            if not 0 <= s < self.graph.n:
+                raise IndexError(f"seed {s} is not a vertex")
+            if s in seen:
+                raise ValueError(f"duplicate seed {s}")
+            seen.add(s)
+        if self.budget > self.graph.n - len(self.seeds):
+            object.__setattr__(
+                self, "budget", self.graph.n - len(self.seeds)
+            )
+
+    @property
+    def candidates(self) -> list[int]:
+        """Vertices eligible as blockers (``V \\ S``)."""
+        seed_set = set(self.seeds)
+        return [v for v in self.graph.vertices() if v not in seed_set]
+
+
+@dataclass(frozen=True)
+class UnifiedProblem:
+    """Result of the multi-seed unification.
+
+    Attributes
+    ----------
+    graph:
+        The transformed graph whose only seed is ``source``.
+    source:
+        The unified seed vertex id in ``graph``.
+    seeds:
+        The original seed tuple.
+    to_original:
+        ``to_original[i]`` is the original id of the unified vertex
+        ``i`` (``None`` for a synthetic source).
+    from_original:
+        Inverse mapping for non-seed vertices.
+    spread_offset:
+        ``E_original = E_unified + spread_offset``; equals
+        ``len(seeds) - 1`` because the ``|S|`` always-active seeds
+        collapse into one always-active source.
+    """
+
+    graph: DiGraph
+    source: int
+    seeds: tuple[int, ...]
+    to_original: tuple[int | None, ...]
+    from_original: dict[int, int] = field(repr=False)
+    spread_offset: float
+
+    def blockers_to_original(self, blockers: Iterable[int]) -> list[int]:
+        """Translate unified blocker ids back to original ids."""
+        out = []
+        for b in blockers:
+            original = self.to_original[b]
+            if original is None:
+                raise ValueError("the unified source cannot be a blocker")
+            out.append(original)
+        return out
+
+    def spread_to_original(self, unified_spread: float) -> float:
+        return unified_spread + self.spread_offset
+
+
+def unify_seeds(graph: DiGraph, seeds: Sequence[int]) -> UnifiedProblem:
+    """Collapse ``seeds`` into a single source (Section V transform).
+
+    A single seed is returned as-is (identity mapping, zero offset); a
+    multi-seed instance gets a rebuilt graph where the source occupies
+    the last vertex id.
+    """
+    seed_tuple = tuple(dict.fromkeys(seeds))
+    if not seed_tuple:
+        raise ValueError("at least one seed is required")
+    for s in seed_tuple:
+        if not 0 <= s < graph.n:
+            raise IndexError(f"seed {s} is not a vertex")
+
+    if len(seed_tuple) == 1:
+        identity = tuple(range(graph.n))
+        return UnifiedProblem(
+            graph=graph,
+            source=seed_tuple[0],
+            seeds=seed_tuple,
+            to_original=identity,
+            from_original={v: v for v in graph.vertices()},
+            spread_offset=0.0,
+        )
+
+    seed_set = set(seed_tuple)
+    non_seeds = [v for v in graph.vertices() if v not in seed_set]
+    from_original = {v: i for i, v in enumerate(non_seeds)}
+    source = len(non_seeds)
+
+    unified = DiGraph(source + 1)
+    for v in non_seeds:
+        new_v = from_original[v]
+        for w, p in graph.successors(v).items():
+            if w not in seed_set:
+                unified.add_edge(new_v, from_original[w], p)
+    # noisy-or combination of all seed -> u edges into source -> u
+    for s in seed_tuple:
+        for u, p in graph.successors(s).items():
+            if u not in seed_set:
+                unified.combine_edge(source, from_original[u], p)
+
+    to_original: list[int | None] = [None] * (source + 1)
+    for v, new_v in from_original.items():
+        to_original[new_v] = v
+
+    return UnifiedProblem(
+        graph=unified,
+        source=source,
+        seeds=seed_tuple,
+        to_original=tuple(to_original),
+        from_original=from_original,
+        spread_offset=float(len(seed_tuple) - 1),
+    )

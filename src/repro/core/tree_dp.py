@@ -1,0 +1,136 @@
+"""Optimal influence minimization on out-trees by dynamic programming.
+
+Yan et al. (cited in the related work) give an optimal DP for the IMIN
+problem when the network is a tree.  On an out-tree rooted at the seed
+there is exactly one path to each vertex, so the activation probability
+of ``v`` is the product of edge probabilities along its path, and the
+spread removed by blocking ``u`` (with no other blocker on its path) is
+the total path-probability mass of ``u``'s subtree.  Choosing at most
+``b`` blockers then becomes a tree knapsack: maximise the removed mass
+over antichains of size <= b (an ancestor of a chosen vertex subsumes
+it).
+
+``f[u][j]`` = maximum mass removable from ``u``'s subtree with ``j``
+blockers, either by blocking ``u`` itself (all of ``W(u)``) or by
+distributing the budget over children.  Complexity ``O(n * b^2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import DiGraph, is_out_tree
+from ..spread import exact_spread_dag
+
+__all__ = ["TreeDPResult", "optimal_tree_blockers"]
+
+
+@dataclass(frozen=True)
+class TreeDPResult:
+    """Optimal blockers on a tree with the exact resulting spread."""
+
+    blockers: tuple[int, ...]
+    spread: float
+    removed_mass: float
+
+
+def optimal_tree_blockers(
+    tree: DiGraph, seed: int, budget: int
+) -> TreeDPResult:
+    """Optimal IMIN solution on an out-tree rooted at ``seed``.
+
+    Raises ``ValueError`` when the graph is not an out-tree rooted at
+    the seed.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    if not is_out_tree(tree, seed):
+        raise ValueError("graph must be an out-tree rooted at the seed")
+    n = tree.n
+    b = min(budget, max(0, n - 1))
+
+    # post-order over the tree (children before parents)
+    order: list[int] = []
+    stack = [seed]
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        stack.extend(tree.successors(u))
+    order.reverse()
+
+    # path probability from the seed and subtree mass W(u)
+    path_prob = [0.0] * n
+    path_prob[seed] = 1.0
+    for u in reversed(order):  # parents before children
+        for v, p in tree.successors(u).items():
+            path_prob[v] = path_prob[u] * p
+    mass = [0.0] * n
+    for u in order:  # children before parents
+        mass[u] = path_prob[u] + sum(
+            mass[v] for v in tree.successors(u)
+        )
+
+    # f[u] = list over budget 0..b of (value, choice) where choice
+    # records either ("self",) or the child budget split for traceback
+    NEG = float("-inf")
+    f: dict[int, list[float]] = {}
+    picks: dict[int, list[tuple]] = {}
+    for u in order:
+        children = list(tree.successors(u))
+        best = [0.0] * (b + 1)
+        choice: list[tuple] = [("none",)] * (b + 1)
+        # knapsack over children
+        combined = [0.0]
+        combined_choice: list[tuple[tuple[int, int], ...]] = [()]
+        for child in children:
+            new_len = min(b, len(combined) - 1 + b) + 1
+            new = [NEG] * new_len
+            new_choice: list[tuple[tuple[int, int], ...]] = [()] * new_len
+            for used in range(len(combined)):
+                for extra in range(b - used + 1):
+                    value = combined[used] + f[child][extra]
+                    if value > new[used + extra]:
+                        new[used + extra] = value
+                        new_choice[used + extra] = combined_choice[used] + (
+                            (child, extra),
+                        )
+            combined = new
+            combined_choice = new_choice
+        for j in range(b + 1):
+            if j < len(combined) and combined[j] > best[j]:
+                best[j] = combined[j]
+                choice[j] = ("children", combined_choice[j])
+            if j >= 1 and u != seed and mass[u] > best[j]:
+                best[j] = mass[u]
+                choice[j] = ("self",)
+        # enforce monotonicity in the budget
+        for j in range(1, b + 1):
+            if best[j - 1] > best[j]:
+                best[j] = best[j - 1]
+                choice[j] = choice[j - 1]
+        f[u] = best
+        picks[u] = choice
+
+    # traceback
+    blockers: list[int] = []
+    frontier: list[tuple[int, int]] = [(seed, b)]
+    while frontier:
+        u, j = frontier.pop()
+        # follow the monotonicity copy-down to the budget actually used
+        while j > 0 and f[u][j] == f[u][j - 1] and picks[u][j] == picks[u][j - 1]:
+            j -= 1
+        kind = picks[u][j]
+        if kind[0] == "self":
+            blockers.append(u)
+        elif kind[0] == "children":
+            for child, extra in kind[1]:
+                if extra > 0 and f[child][extra] > 0.0:
+                    frontier.append((child, extra))
+
+    removed = f[seed][b]
+    spread = exact_spread_dag(tree, seed, blocked=blockers)
+    return TreeDPResult(
+        blockers=tuple(sorted(blockers)),
+        spread=spread,
+        removed_mass=removed,
+    )

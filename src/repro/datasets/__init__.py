@@ -1,0 +1,17 @@
+"""Datasets: the paper's toy example, SNAP stand-ins and subgraph tools."""
+
+from .subgraph import extract_neighborhood_subgraph, extract_subgraphs
+from .synthetic import DATASETS, DatasetInfo, dataset_keys, load_dataset
+from .toy import figure1_graph, figure1_seed, V
+
+__all__ = [
+    "figure1_graph",
+    "figure1_seed",
+    "V",
+    "DATASETS",
+    "DatasetInfo",
+    "dataset_keys",
+    "load_dataset",
+    "extract_neighborhood_subgraph",
+    "extract_subgraphs",
+]

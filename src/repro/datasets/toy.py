@@ -1,0 +1,57 @@
+"""The paper's running example graphs (Figures 1 and 2).
+
+:func:`figure1_graph` reconstructs the 9-vertex toy graph of Figure 1
+from the constraints stated in Examples 1–4 and Table III; the module
+docstring of :mod:`tests.test_paper_examples` lists the exact values it
+must reproduce (expected spread 7.66, blocking v5 -> 3, the Example 2
+per-vertex decreases, and the Table III algorithm outcomes).
+
+Vertex ``v_i`` of the paper is id ``i - 1`` here.
+"""
+
+from __future__ import annotations
+
+from ..graph import DiGraph
+
+__all__ = ["figure1_graph", "figure1_seed", "V"]
+
+
+def V(i: int) -> int:
+    """Paper vertex name ``v_i`` -> library id (``V(1) == 0``)."""
+    if i < 1:
+        raise ValueError("paper vertices are numbered from 1")
+    return i - 1
+
+
+figure1_seed = V(1)
+
+
+def figure1_graph() -> DiGraph:
+    """The Figure 1 toy graph.
+
+    Edge structure (propagation probability 1 unless noted):
+
+    * ``v1 -> v2``, ``v1 -> v4`` — the seed's out-neighbours
+      (OutNeighbors considers exactly {v2, v4}, Example 3);
+    * ``v2 -> v5``, ``v4 -> v5`` — both must be blocked to cut v5 off
+      (Table III: blocking {v2, v4} leaves spread 1);
+    * ``v5 -> v3``, ``v5 -> v6``, ``v5 -> v9`` — blocking v5 strands
+      v3, v6, v7, v8, v9 (Example 3), spread drops to 3 (Example 1);
+    * ``v5 -> v8`` with p = 0.5 and ``v9 -> v8`` with p = 0.2 — gives
+      ``P(v8) = 1 - (1 - 0.5)(1 - 0.2) = 0.6`` (Example 1);
+    * ``v8 -> v7`` with p = 0.1 — gives ``P(v7) = 0.06`` (Example 1).
+
+    Total expected spread: 7 certain vertices + 0.6 + 0.06 = 7.66.
+    """
+    graph = DiGraph(9)
+    graph.add_edge(V(1), V(2), 1.0)
+    graph.add_edge(V(1), V(4), 1.0)
+    graph.add_edge(V(2), V(5), 1.0)
+    graph.add_edge(V(4), V(5), 1.0)
+    graph.add_edge(V(5), V(3), 1.0)
+    graph.add_edge(V(5), V(6), 1.0)
+    graph.add_edge(V(5), V(9), 1.0)
+    graph.add_edge(V(5), V(8), 0.5)
+    graph.add_edge(V(9), V(8), 0.2)
+    graph.add_edge(V(8), V(7), 0.1)
+    return graph

@@ -1,0 +1,16 @@
+"""Dominator trees: Lengauer–Tarjan, iterative and naive algorithms."""
+
+from .iterative import immediate_dominators_iterative
+from .lengauer_tarjan import dominator_tree_arrays, immediate_dominators
+from .naive import dominator_sets, immediate_dominators_naive
+from .tree import DominatorTree, subtree_sizes
+
+__all__ = [
+    "immediate_dominators",
+    "dominator_tree_arrays",
+    "immediate_dominators_iterative",
+    "immediate_dominators_naive",
+    "dominator_sets",
+    "DominatorTree",
+    "subtree_sizes",
+]

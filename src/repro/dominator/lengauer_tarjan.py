@@ -1,0 +1,140 @@
+"""Lengauer–Tarjan immediate-dominator computation.
+
+This is the algorithm the paper uses to build dominator trees of sampled
+graphs (Section V-B3).  We implement the "simple" O(m log n) variant
+with a union-find forest and path compression, fully iteratively so deep
+sampled graphs cannot overflow the recursion limit.
+
+The input is an out-adjacency mapping (a dict or a list indexed by
+vertex).  Only vertices reachable from ``root`` participate; everything
+else is ignored, which matches the estimator's needs: unreachable
+vertices contribute nothing to the spread.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+__all__ = ["immediate_dominators", "dominator_tree_arrays"]
+
+Adjacency = Union[Mapping[int, Sequence[int]], Sequence[Sequence[int]]]
+
+
+def _out_edges(succ: Adjacency, u: int) -> Sequence[int]:
+    if isinstance(succ, Mapping):
+        return succ.get(u, ())
+    return succ[u]
+
+
+def dominator_tree_arrays(
+    succ: Adjacency, root: int
+) -> tuple[list[int], list[int]]:
+    """Core Lengauer–Tarjan routine on DFS-numbered arrays.
+
+    Returns ``(order, idom)`` where ``order`` lists reachable vertices in
+    DFS preorder (``order[0] == root``) and ``idom[i]`` is the preorder
+    number of the immediate dominator of ``order[i]`` (``idom[0] == 0``).
+
+    Working in preorder numbers keeps every structure a flat list, and
+    gives the crucial invariant ``idom[w] < w`` used by the subtree-size
+    accumulation of Algorithm 2.
+    """
+    # ------------------------------------------------------------------
+    # Step 1: iterative DFS — preorder numbers, tree parents, and the
+    # predecessor lists restricted to reachable vertices.
+    # ------------------------------------------------------------------
+    dfn: dict[int, int] = {root: 0}
+    order: list[int] = [root]
+    parent: list[int] = [0]
+    stack = [iter(_out_edges(succ, root))]
+    stack_vertex = [0]
+    while stack:
+        advanced = False
+        u_num = stack_vertex[-1]
+        for v in stack[-1]:
+            if v not in dfn:
+                dfn[v] = len(order)
+                order.append(v)
+                parent.append(u_num)
+                stack.append(iter(_out_edges(succ, v)))
+                stack_vertex.append(dfn[v])
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+            stack_vertex.pop()
+
+    size = len(order)
+    preds: list[list[int]] = [[] for _ in range(size)]
+    for u in order:
+        u_num = dfn[u]
+        for v in _out_edges(succ, u):
+            v_num = dfn.get(v)
+            if v_num is not None:
+                preds[v_num].append(u_num)
+
+    # ------------------------------------------------------------------
+    # Step 2/3: semidominators and implicit immediate dominators.
+    # ------------------------------------------------------------------
+    semi = list(range(size))
+    idom = [0] * size
+    ancestor = [-1] * size  # union-find forest over processed vertices
+    label = list(range(size))  # min-semi representative on forest path
+    buckets: list[list[int]] = [[] for _ in range(size)]
+
+    def evaluate(v: int) -> int:
+        """Min-semi label on the forest path from ``v`` up to its root.
+
+        Iterative path compression: walk up collecting the path, then
+        fold labels top-down so each node ends up pointing directly at
+        the forest root with its label finalised.
+        """
+        if ancestor[v] == -1:
+            return v
+        # Collect v and every ancestor until the node directly below the
+        # forest root (that node's label is already final).
+        path = []
+        u = v
+        while ancestor[ancestor[u]] != -1:
+            path.append(u)
+            u = ancestor[u]
+        # Fold top-down: each node inherits the better label of its
+        # (already compressed) ancestor, then points at the root.
+        for w in reversed(path):
+            anc = ancestor[w]
+            if semi[label[anc]] < semi[label[w]]:
+                label[w] = label[anc]
+            ancestor[w] = ancestor[anc]
+        return label[v]
+
+    for w in range(size - 1, 0, -1):
+        for v in preds[w]:
+            u = evaluate(v)
+            if semi[u] < semi[w]:
+                semi[w] = semi[u]
+        buckets[semi[w]].append(w)
+        p = parent[w]
+        ancestor[w] = p  # link(p, w)
+        for v in buckets[p]:
+            u = evaluate(v)
+            idom[v] = u if semi[u] < semi[v] else p
+        buckets[p].clear()
+
+    # ------------------------------------------------------------------
+    # Step 4: explicit immediate dominators in preorder.
+    # ------------------------------------------------------------------
+    for w in range(1, size):
+        if idom[w] != semi[w]:
+            idom[w] = idom[idom[w]]
+
+    return order, idom
+
+
+def immediate_dominators(succ: Adjacency, root: int) -> dict[int, int]:
+    """Immediate dominators keyed by original vertex ids.
+
+    Returns ``{v: idom(v)}`` for every vertex ``v != root`` reachable
+    from ``root``.  The root itself is omitted (it has no dominator).
+    """
+    order, idom = dominator_tree_arrays(succ, root)
+    return {order[w]: order[idom[w]] for w in range(1, len(order))}

@@ -1,0 +1,73 @@
+"""Definition-based dominator computation (test oracle).
+
+``u`` dominates ``v`` iff every path from the root to ``v`` goes through
+``u`` (Definition 5 of the paper) — equivalently, iff ``v`` becomes
+unreachable when ``u`` is removed.  This O(n * (n + m)) routine is far
+too slow for the estimator but is the perfect cross-check for the
+Lengauer–Tarjan and iterative implementations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Sequence, Union
+
+__all__ = ["dominator_sets", "immediate_dominators_naive"]
+
+Adjacency = Union[Mapping[int, Sequence[int]], Sequence[Sequence[int]]]
+
+
+def _out_edges(succ: Adjacency, u: int) -> Sequence[int]:
+    if isinstance(succ, Mapping):
+        return succ.get(u, ())
+    return succ[u]
+
+
+def _reachable(succ: Adjacency, root: int, removed: int = -1) -> set[int]:
+    if root == removed:
+        return set()
+    seen = {root}
+    queue = deque((root,))
+    while queue:
+        u = queue.popleft()
+        for v in _out_edges(succ, u):
+            if v != removed and v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return seen
+
+
+def dominator_sets(succ: Adjacency, root: int) -> dict[int, set[int]]:
+    """``{v: set of dominators of v}`` for every reachable vertex.
+
+    Every vertex dominates itself; the root dominates everything.
+    """
+    base = _reachable(succ, root)
+    doms: dict[int, set[int]] = {v: {v, root} for v in base}
+    doms[root] = {root}
+    for u in base:
+        if u == root:
+            continue
+        still = _reachable(succ, root, removed=u)
+        for v in base - still:
+            doms[v].add(u)
+    return doms
+
+
+def immediate_dominators_naive(succ: Adjacency, root: int) -> dict[int, int]:
+    """``{v: idom(v)}`` for reachable ``v != root`` by brute force.
+
+    The immediate dominator is the dominator (other than ``v``) that is
+    dominated by every other dominator of ``v`` (Definition 6), i.e. the
+    one with the largest dominator set.
+    """
+    doms = dominator_sets(succ, root)
+    idom: dict[int, int] = {}
+    for v, dset in doms.items():
+        if v == root:
+            continue
+        proper = dset - {v}
+        # the immediate dominator is the proper dominator dominated by
+        # all the others — it has the maximum number of dominators
+        idom[v] = max(proper, key=lambda u: len(doms[u]))
+    return idom

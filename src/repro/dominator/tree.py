@@ -1,0 +1,158 @@
+"""Dominator-tree structure and subtree statistics.
+
+Theorem 6 of the paper: for a sampled graph ``g`` with source ``s``,
+``sigma->u(s, g)`` — the number of vertices whose every path from ``s``
+passes through ``u`` — equals the size of the subtree rooted at ``u`` in
+the dominator tree of ``g``.  :func:`subtree_sizes` computes all of
+those sizes in one linear pass, which is exactly the per-sample work of
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Sequence, Union
+
+from .lengauer_tarjan import dominator_tree_arrays
+
+__all__ = ["DominatorTree", "subtree_sizes"]
+
+Adjacency = Union[Mapping[int, Sequence[int]], Sequence[Sequence[int]]]
+
+
+def subtree_sizes(idom: Sequence[int]) -> list[int]:
+    """Subtree sizes for a preorder-numbered dominator tree.
+
+    ``idom[w]`` must be the immediate dominator of ``w`` with
+    ``idom[w] < w`` for all ``w >= 1`` (as produced by
+    :func:`~repro.dominator.lengauer_tarjan.dominator_tree_arrays`);
+    a single descending sweep then accumulates child sizes into parents.
+    """
+    size = len(idom)
+    sizes = [1] * size
+    for w in range(size - 1, 0, -1):
+        sizes[idom[w]] += sizes[w]
+    return sizes
+
+
+class DominatorTree:
+    """Dominator tree of the subgraph reachable from ``root``.
+
+    A convenience wrapper used by the public API, examples and tests;
+    the hot estimator path calls the array routines directly.
+    """
+
+    def __init__(self, succ: Adjacency, root: int) -> None:
+        self.root = root
+        self._order, self._idom_nums = dominator_tree_arrays(succ, root)
+        self._dfn = {v: i for i, v in enumerate(self._order)}
+        self._sizes = subtree_sizes(self._idom_nums)
+
+    # ------------------------------------------------------------------
+    # queries (all keyed by original vertex ids)
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> list[int]:
+        """Reachable vertices in DFS preorder (root first)."""
+        return list(self._order)
+
+    def idom(self, v: int) -> int:
+        """Immediate dominator of ``v`` (raises for the root)."""
+        num = self._dfn[v]
+        if num == 0:
+            raise ValueError("the root has no immediate dominator")
+        return self._order[self._idom_nums[num]]
+
+    def idom_map(self) -> dict[int, int]:
+        return {
+            self._order[w]: self._order[self._idom_nums[w]]
+            for w in range(1, len(self._order))
+        }
+
+    def subtree_size(self, v: int) -> int:
+        """Number of vertices dominated by ``v`` (including ``v``)."""
+        return self._sizes[self._dfn[v]]
+
+    def subtree_size_map(self) -> dict[int, int]:
+        return {v: self._sizes[i] for i, v in enumerate(self._order)}
+
+    def dominates(self, u: int, v: int) -> bool:
+        """True iff ``u`` dominates ``v`` (every vertex dominates itself)."""
+        if u not in self._dfn or v not in self._dfn:
+            return False
+        target = self._dfn[u]
+        w = self._dfn[v]
+        while w > target:
+            w = self._idom_nums[w]
+        return w == target
+
+    def depth(self, v: int) -> int:
+        """Edge distance from the root in the dominator tree."""
+        w = self._dfn[v]
+        d = 0
+        while w != 0:
+            w = self._idom_nums[w]
+            d += 1
+        return d
+
+    def children(self, v: int) -> list[int]:
+        num = self._dfn[v]
+        return [
+            self._order[w]
+            for w in range(1, len(self._order))
+            if self._idom_nums[w] == num
+        ]
+
+    def bfs_levels(self) -> list[list[int]]:
+        """Vertices grouped by dominator-tree depth (level 0 = root)."""
+        kids: dict[int, list[int]] = {}
+        for w in range(1, len(self._order)):
+            kids.setdefault(self._idom_nums[w], []).append(w)
+        levels: list[list[int]] = []
+        frontier = deque([0])
+        while frontier:
+            levels.append([self._order[w] for w in frontier])
+            nxt: deque[int] = deque()
+            for w in frontier:
+                nxt.extend(kids.get(w, ()))
+            frontier = nxt
+        return levels
+
+    def render(self, label=str, max_vertices: int = 200) -> str:
+        """ASCII rendering of the tree (used by examples/debugging).
+
+        ``label`` maps a vertex id to its display string; rendering
+        stops with an ellipsis beyond ``max_vertices``.
+        """
+        kids: dict[int, list[int]] = {}
+        for w in range(1, len(self._order)):
+            kids.setdefault(self._idom_nums[w], []).append(w)
+        lines: list[str] = []
+
+        def walk(num: int, prefix: str, tail: bool) -> None:
+            if len(lines) >= max_vertices:
+                return
+            connector = "" if not prefix and not tail else (
+                "`- " if tail else "|- "
+            )
+            lines.append(
+                f"{prefix}{connector}{label(self._order[num])} "
+                f"[{self._sizes[num]}]"
+            )
+            children = kids.get(num, [])
+            child_prefix = prefix + (
+                "" if not prefix and not tail else ("   " if tail else "|  ")
+            )
+            for index, child in enumerate(children):
+                walk(child, child_prefix, index == len(children) - 1)
+
+        walk(0, "", False)
+        if len(lines) >= max_vertices:
+            lines.append("...")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DominatorTree(root={self.root}, size={len(self._order)})"

@@ -1,0 +1,49 @@
+"""Directed-graph substrate: structure, CSR layout, traversal, generators."""
+
+from .csr import CSRGraph
+from .digraph import DiGraph
+from .generators import (
+    barabasi_albert,
+    directed_scale_free,
+    erdos_renyi,
+    forest_fire,
+    powerlaw_cluster,
+    random_dag,
+    random_out_tree,
+    watts_strogatz,
+)
+from .io import from_networkx, read_edge_list, to_networkx, write_edge_list
+from .metrics import degree_gini, graph_stats, GraphStats, reciprocity
+from .traversal import (
+    bfs_order,
+    dfs_preorder,
+    is_out_tree,
+    reachable_set,
+    reachable_set_adj,
+)
+
+__all__ = [
+    "DiGraph",
+    "CSRGraph",
+    "bfs_order",
+    "dfs_preorder",
+    "reachable_set",
+    "reachable_set_adj",
+    "is_out_tree",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "powerlaw_cluster",
+    "directed_scale_free",
+    "forest_fire",
+    "random_out_tree",
+    "random_dag",
+    "read_edge_list",
+    "write_edge_list",
+    "from_networkx",
+    "to_networkx",
+    "graph_stats",
+    "GraphStats",
+    "degree_gini",
+    "reciprocity",
+]

@@ -1,0 +1,123 @@
+"""Edge-list I/O and optional networkx interoperability.
+
+SNAP distributes graphs as whitespace-separated edge lists with ``#``
+comments; :func:`read_edge_list` accepts that format (with or without a
+third probability column) and relabels arbitrary vertex ids to the
+contiguous ``0 .. n-1`` range the library requires.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+from .digraph import DiGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "from_networkx",
+    "to_networkx",
+]
+
+
+def read_edge_list(
+    path_or_file: Union[str, Path, TextIO],
+    directed: bool = True,
+    default_probability: float = 1.0,
+) -> tuple[DiGraph, dict[int, int]]:
+    """Parse a SNAP-style edge list.
+
+    Returns ``(graph, id_map)`` where ``id_map`` maps original vertex
+    labels to the new contiguous ids.  Lines starting with ``#`` are
+    comments; each data line is ``u v`` or ``u v p``.  When
+    ``directed=False`` both directions of every edge are added.
+    """
+    if isinstance(path_or_file, (str, Path)):
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            return read_edge_list(handle, directed, default_probability)
+
+    rows: list[tuple[int, int, float]] = []
+    id_map: dict[int, int] = {}
+
+    def intern(label: int) -> int:
+        mapped = id_map.get(label)
+        if mapped is None:
+            mapped = len(id_map)
+            id_map[label] = mapped
+        return mapped
+
+    for line in path_or_file:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed edge-list line: {line!r}")
+        u = intern(int(parts[0]))
+        v = intern(int(parts[1]))
+        p = float(parts[2]) if len(parts) >= 3 else default_probability
+        rows.append((u, v, p))
+
+    graph = DiGraph(len(id_map))
+    for u, v, p in rows:
+        if u == v:
+            continue  # SNAP lists occasionally contain self loops
+        graph.add_edge(u, v, p)
+        if not directed and not graph.has_edge(v, u):
+            graph.add_edge(v, u, p)
+    return graph, id_map
+
+
+def write_edge_list(
+    graph: DiGraph,
+    path_or_file: Union[str, Path, TextIO],
+    include_probabilities: bool = True,
+) -> None:
+    """Write the graph as ``u v [p]`` lines (one directed edge per line)."""
+    if isinstance(path_or_file, (str, Path)):
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            write_edge_list(graph, handle, include_probabilities)
+            return
+    handle = path_or_file
+    handle.write(f"# DiGraph n={graph.n} m={graph.m}\n")
+    for u, v, p in graph.edges():
+        if include_probabilities:
+            handle.write(f"{u} {v} {p:.10g}\n")
+        else:
+            handle.write(f"{u} {v}\n")
+
+
+def from_networkx(nx_graph) -> DiGraph:
+    """Convert a networkx (Di)Graph; reads the ``probability`` edge attr.
+
+    Vertices are relabelled to ``0 .. n-1`` in sorted order when the
+    labels are sortable, otherwise in iteration order.
+    """
+    nodes = list(nx_graph.nodes())
+    try:
+        nodes.sort()
+    except TypeError:
+        pass
+    index = {v: i for i, v in enumerate(nodes)}
+    graph = DiGraph(len(nodes))
+    directed = nx_graph.is_directed()
+    for u, v, data in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        p = float(data.get("probability", 1.0))
+        graph.add_edge(index[u], index[v], p)
+        if not directed and not graph.has_edge(index[v], index[u]):
+            graph.add_edge(index[v], index[u], p)
+    return graph
+
+
+def to_networkx(graph: DiGraph):
+    """Convert to ``networkx.DiGraph`` with ``probability`` edge attrs."""
+    import networkx as nx
+
+    out = nx.DiGraph()
+    out.add_nodes_from(graph.vertices())
+    for u, v, p in graph.edges():
+        out.add_edge(u, v, probability=p)
+    return out

@@ -1,0 +1,114 @@
+"""Graph traversals used throughout the library.
+
+All traversals are iterative (no recursion) so they handle the deep,
+path-like graphs that show up in sampled cascades without hitting the
+interpreter's recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping, Sequence
+
+from .digraph import DiGraph
+
+__all__ = [
+    "bfs_order",
+    "dfs_preorder",
+    "reachable_set",
+    "reachable_set_adj",
+    "is_out_tree",
+]
+
+
+def bfs_order(graph: DiGraph, sources: Iterable[int]) -> list[int]:
+    """Vertices reachable from ``sources`` in breadth-first order."""
+    seen: set[int] = set()
+    order: list[int] = []
+    queue: deque[int] = deque()
+    for s in sources:
+        if s not in seen:
+            seen.add(s)
+            order.append(s)
+            queue.append(s)
+    while queue:
+        u = queue.popleft()
+        for v in graph.successors(u):
+            if v not in seen:
+                seen.add(v)
+                order.append(v)
+                queue.append(v)
+    return order
+
+
+def dfs_preorder(graph: DiGraph, source: int) -> list[int]:
+    """Depth-first preorder from ``source`` (iterative)."""
+    seen = {source}
+    order = [source]
+    stack: list[Iterable[int]] = [iter(graph.successors(source))]
+    while stack:
+        advanced = False
+        for v in stack[-1]:
+            if v not in seen:
+                seen.add(v)
+                order.append(v)
+                stack.append(iter(graph.successors(v)))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+    return order
+
+
+def reachable_set(
+    graph: DiGraph,
+    sources: Iterable[int],
+    blocked: Iterable[int] = (),
+) -> set[int]:
+    """Vertices reachable from ``sources`` avoiding ``blocked``.
+
+    Blocked vertices are never entered (they cannot be activated), but a
+    blocked source is still considered unreachable — sources are assumed
+    disjoint from blockers as in the problem statement.
+    """
+    drop = set(blocked)
+    seen = {s for s in sources if s not in drop}
+    queue = deque(seen)
+    while queue:
+        u = queue.popleft()
+        for v in graph.successors(u):
+            if v not in seen and v not in drop:
+                seen.add(v)
+                queue.append(v)
+    return seen
+
+
+def reachable_set_adj(
+    succ: Mapping[int, Sequence[int]], source: int
+) -> set[int]:
+    """Reachability over a plain adjacency mapping (sampled subgraphs)."""
+    seen = {source}
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for v in succ.get(u, ()):
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return seen
+
+
+def is_out_tree(graph: DiGraph, root: int) -> bool:
+    """True iff ``graph`` is an out-tree rooted at ``root``.
+
+    Every vertex except the root must have in-degree exactly one, the
+    root in-degree zero, and all vertices must be reachable from the
+    root.  This is the precondition of the optimal tree DP
+    (:mod:`repro.core.tree_dp`).
+    """
+    if graph.in_degree(root) != 0:
+        return False
+    for u in graph.vertices():
+        if u != root and graph.in_degree(u) != 1:
+            return False
+    return len(reachable_set(graph, [root])) == graph.n

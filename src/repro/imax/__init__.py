@@ -1,0 +1,15 @@
+"""Influence maximization via reverse influence sampling (§V-B1).
+
+Implemented as the substrate the paper contrasts with: RIS works for
+seed selection (submodular coverage) but not for blocker selection
+(Theorem 2's non-supermodularity) — see :mod:`repro.imax.ris`.
+"""
+
+from .ris import generate_rr_sets, greedy_imax, IMaxResult, RRSetCollection
+
+__all__ = [
+    "generate_rr_sets",
+    "RRSetCollection",
+    "greedy_imax",
+    "IMaxResult",
+]

@@ -1,0 +1,20 @@
+"""Diffusion-model machinery: probability assignment and triggering."""
+
+from .propagation import (
+    TRIVALENCY_VALUES,
+    assign_constant,
+    assign_trivalency,
+    assign_uniform,
+    assign_weighted_cascade,
+)
+from .triggering import GeneralTriggeringSampler, LinearThresholdSampler
+
+__all__ = [
+    "TRIVALENCY_VALUES",
+    "assign_trivalency",
+    "assign_weighted_cascade",
+    "assign_constant",
+    "assign_uniform",
+    "LinearThresholdSampler",
+    "GeneralTriggeringSampler",
+]

@@ -1,0 +1,73 @@
+"""Propagation-probability assignment models.
+
+The paper's experiments (Section VI-A) assign IC edge probabilities by
+two standard schemes:
+
+* **Trivalency (TR)** — every edge draws uniformly from
+  ``{0.1, 0.01, 0.001}``;
+* **Weighted Cascade (WC)** — ``p(u, v) = 1 / in_degree(v)``.
+
+We add a constant and a uniform scheme used in tests and ablations.
+All functions mutate the graph's edge probabilities in place and return
+the graph to allow chaining.
+"""
+
+from __future__ import annotations
+
+from ..graph import DiGraph
+from ..rng import ensure_rng, RngLike
+
+__all__ = [
+    "TRIVALENCY_VALUES",
+    "assign_trivalency",
+    "assign_weighted_cascade",
+    "assign_constant",
+    "assign_uniform",
+]
+
+TRIVALENCY_VALUES: tuple[float, ...] = (0.1, 0.01, 0.001)
+
+
+def assign_trivalency(
+    graph: DiGraph,
+    rng: RngLike = None,
+    values: tuple[float, ...] = TRIVALENCY_VALUES,
+) -> DiGraph:
+    """TR model: each edge gets a probability drawn uniformly from
+    ``values`` (default ``{0.1, 0.01, 0.001}``)."""
+    gen = ensure_rng(rng)
+    for u, v, _ in list(graph.edges()):
+        graph.add_edge(u, v, values[int(gen.integers(len(values)))])
+    return graph
+
+
+def assign_weighted_cascade(graph: DiGraph) -> DiGraph:
+    """WC model: ``p(u, v) = 1 / in_degree(v)``.
+
+    With this assignment every vertex is activated by one in-neighbour
+    in expectation, the classic weighted-cascade setting of Kempe et al.
+    """
+    for u, v, _ in list(graph.edges()):
+        graph.add_edge(u, v, 1.0 / graph.in_degree(v))
+    return graph
+
+
+def assign_constant(graph: DiGraph, p: float) -> DiGraph:
+    """Uniform constant probability on every edge."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    for u, v, _ in list(graph.edges()):
+        graph.add_edge(u, v, p)
+    return graph
+
+
+def assign_uniform(
+    graph: DiGraph, low: float, high: float, rng: RngLike = None
+) -> DiGraph:
+    """Independent uniform probability in ``[low, high]`` per edge."""
+    if not 0.0 <= low <= high <= 1.0:
+        raise ValueError(f"need 0 <= low <= high <= 1, got [{low}, {high}]")
+    gen = ensure_rng(rng)
+    for u, v, _ in list(graph.edges()):
+        graph.add_edge(u, v, low + (high - low) * float(gen.random()))
+    return graph

@@ -1,0 +1,38 @@
+"""Random-number-generator plumbing shared across the library.
+
+Every stochastic public function accepts an ``rng`` argument that may be
+``None`` (fresh entropy), an integer seed, or a ready
+``numpy.random.Generator``.  :func:`ensure_rng` normalises the three.
+The Monte-Carlo cascade engine runs in tight Python loops where
+``random.Random`` is faster than numpy scalars, so :func:`python_rng`
+derives a seeded ``random.Random`` from the same source.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+import numpy as np
+
+__all__ = ["RngLike", "ensure_rng", "python_rng", "spawn_rng"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``None`` / int seed / Generator into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def python_rng(rng: RngLike = None) -> random.Random:
+    """A seeded ``random.Random`` derived from the numpy source."""
+    gen = ensure_rng(rng)
+    return random.Random(int(gen.integers(2**63)))
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Child generator with an independent stream."""
+    return np.random.default_rng(rng.integers(2**63))

@@ -1,0 +1,23 @@
+"""Live-edge sampling, reachability statistics and sample-size theory."""
+
+from .estimator import (
+    SpreadEstimate,
+    chernoff_failure_probability,
+    estimate_spread_sampled,
+    required_samples,
+)
+from .live_edge import EdgeSampler, ICSampler, adjacency_from_edges
+from .reachability import sigma, sigma_through, sigma_through_all
+
+__all__ = [
+    "EdgeSampler",
+    "ICSampler",
+    "adjacency_from_edges",
+    "sigma",
+    "sigma_through",
+    "sigma_through_all",
+    "required_samples",
+    "chernoff_failure_probability",
+    "estimate_spread_sampled",
+    "SpreadEstimate",
+]

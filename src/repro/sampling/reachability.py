@@ -1,0 +1,61 @@
+"""Reachability statistics on sampled graphs (Table II of the paper).
+
+``sigma(s, g)`` is the number of vertices reachable from ``s`` in the
+sampled graph ``g``; ``sigma->u(s, g)`` is the number of vertices whose
+*every* path from ``s`` passes through ``u``.  Theorem 6 identifies
+``sigma->u`` with a dominator-subtree size; the brute-force versions
+here exist to validate that identity in tests and to document the
+semantics, not for production use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Sequence
+
+__all__ = ["sigma", "sigma_through", "sigma_through_all"]
+
+Adjacency = Mapping[int, Sequence[int]]
+
+
+def _reach_count(succ: Adjacency, source: int, removed: int = -1) -> int:
+    if source == removed:
+        return 0
+    seen = {source}
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for v in succ.get(u, ()):
+            if v != removed and v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return len(seen)
+
+
+def sigma(succ: Adjacency, source: int) -> int:
+    """Number of vertices reachable from ``source`` (itself included)."""
+    return _reach_count(succ, source)
+
+
+def sigma_through(succ: Adjacency, source: int, u: int) -> int:
+    """``sigma->u``: reachable vertices that become unreachable when
+    ``u`` is removed (``u`` itself counts when reachable)."""
+    return _reach_count(succ, source) - _reach_count(succ, source, removed=u)
+
+
+def sigma_through_all(succ: Adjacency, source: int) -> dict[int, int]:
+    """``sigma->u`` for every reachable ``u != source`` (brute force)."""
+    base = _reach_count(succ, source)
+    seen = {source}
+    queue = deque((source,))
+    while queue:
+        w = queue.popleft()
+        for v in succ.get(w, ()):
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return {
+        u: base - _reach_count(succ, source, removed=u)
+        for u in seen
+        if u != source
+    }

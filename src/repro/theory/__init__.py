@@ -1,0 +1,25 @@
+"""Executable hardness constructions and property checkers."""
+
+from .properties import (
+    check_monotonicity,
+    find_supermodularity_violation,
+    SupermodularityViolation,
+)
+from .reduction import (
+    densest_k_subgraph_bruteforce,
+    DKSInstance,
+    imin_spread_for_blockers,
+    reduce_dks_to_imin,
+    ReducedInstance,
+)
+
+__all__ = [
+    "DKSInstance",
+    "ReducedInstance",
+    "reduce_dks_to_imin",
+    "imin_spread_for_blockers",
+    "densest_k_subgraph_bruteforce",
+    "check_monotonicity",
+    "find_supermodularity_violation",
+    "SupermodularityViolation",
+]

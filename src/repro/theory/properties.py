@@ -1,0 +1,125 @@
+"""Empirical checkers for the spread function's properties (Theorem 2).
+
+Theorem 2: the blocked-spread function ``f(B) = E(S, G[V \\ B])`` is
+monotone (non-increasing in ``B``) and **not** supermodular.  The
+checkers here verify monotonicity on concrete instances and search for
+supermodularity violations, which tests exercise both on the paper's
+Figure 1 counterexample and on random graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from ..graph import DiGraph
+from ..rng import ensure_rng, RngLike
+from ..spread import exact_expected_spread
+
+__all__ = [
+    "check_monotonicity",
+    "find_supermodularity_violation",
+    "SupermodularityViolation",
+]
+
+
+def check_monotonicity(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    blocker_chain: Sequence[Sequence[int]],
+    tolerance: float = 1e-9,
+) -> bool:
+    """True iff spread is non-increasing along a chain of blocker sets.
+
+    ``blocker_chain`` must be ordered by inclusion (each set a superset
+    of the previous); spread is evaluated exactly.
+    """
+    previous = None
+    for blockers in blocker_chain:
+        spread = exact_expected_spread(graph, seeds, blocked=blockers)
+        if previous is not None and spread > previous + tolerance:
+            return False
+        previous = spread
+    return True
+
+
+class SupermodularityViolation:
+    """Witness that ``f(B) = E(S, G[V \\ B])`` is not supermodular.
+
+    Supermodularity would require
+    ``f(X + x) - f(X) <= f(Y + x) - f(Y)`` for all ``X ⊆ Y`` and
+    ``x ∉ Y``; the witness stores sets and values with the inequality
+    reversed.
+    """
+
+    def __init__(
+        self,
+        smaller: tuple[int, ...],
+        larger: tuple[int, ...],
+        vertex: int,
+        marginal_small: float,
+        marginal_large: float,
+    ):
+        self.smaller = smaller
+        self.larger = larger
+        self.vertex = vertex
+        self.marginal_small = marginal_small
+        self.marginal_large = marginal_large
+
+    def __repr__(self) -> str:
+        return (
+            f"SupermodularityViolation(X={self.smaller}, Y={self.larger}, "
+            f"x={self.vertex}, f(X+x)-f(X)={self.marginal_small:.4f} > "
+            f"f(Y+x)-f(Y)={self.marginal_large:.4f})"
+        )
+
+
+def find_supermodularity_violation(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    max_set_size: int = 2,
+    tolerance: float = 1e-9,
+    rng: RngLike = None,
+    max_checks: int = 20000,
+) -> SupermodularityViolation | None:
+    """Search for a supermodularity violation by exhaustive/randomised
+    enumeration of small ``X ⊆ Y`` pairs.  Returns the first witness or
+    ``None``.  Spread is computed exactly, so keep the graph small."""
+    gen = ensure_rng(rng)
+    seed_set = set(seeds)
+    pool = [v for v in graph.vertices() if v not in seed_set]
+    cache: dict[frozenset[int], float] = {}
+
+    def f(blockers: frozenset[int]) -> float:
+        if blockers not in cache:
+            cache[blockers] = exact_expected_spread(
+                graph, list(seeds), blocked=blockers
+            )
+        return cache[blockers]
+
+    checks = 0
+    for y_size in range(1, max_set_size + 1):
+        y_sets = list(combinations(pool, y_size))
+        gen.shuffle(y_sets)
+        for y in y_sets:
+            y_fs = frozenset(y)
+            for x_size in range(y_size):
+                for x in combinations(y, x_size):
+                    x_fs = frozenset(x)
+                    for vertex in pool:
+                        if vertex in y_fs:
+                            continue
+                        checks += 1
+                        if checks > max_checks:
+                            return None
+                        gain_small = f(x_fs | {vertex}) - f(x_fs)
+                        gain_large = f(y_fs | {vertex}) - f(y_fs)
+                        if gain_small > gain_large + tolerance:
+                            return SupermodularityViolation(
+                                tuple(sorted(x_fs)),
+                                tuple(sorted(y_fs)),
+                                vertex,
+                                gain_small,
+                                gain_large,
+                            )
+    return None

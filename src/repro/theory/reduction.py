@@ -1,0 +1,140 @@
+"""The DKS -> IMIN reduction behind Theorems 1 and 3.
+
+The paper proves NP-hardness (and APX-hardness) of influence
+minimization by reducing the densest k-subgraph problem: given an
+undirected graph ``H`` and integer ``k``, build an IMIN instance whose
+optimal blocker set of size ``k`` identifies the densest k-subgraph
+(Figure 2).  This module makes the construction executable — it is used
+by tests that verify the equivalence on small instances, and by an
+example that demonstrates the hardness argument end to end.
+
+Construction: one seed ``S``; a ``C`` vertex per DKS vertex with an
+edge ``S -> c_i``; a ``D`` vertex per DKS edge with edges from both
+endpoint ``C`` vertices; all probabilities 1.  Blocking ``A ⊆ C`` with
+``|A| = k`` yields spread ``1 + (n - k) + (m - g)`` where ``g`` is the
+number of DKS edges inside ``A`` — minimum spread == densest subgraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from ..graph import DiGraph
+
+__all__ = [
+    "DKSInstance",
+    "ReducedInstance",
+    "reduce_dks_to_imin",
+    "densest_k_subgraph_bruteforce",
+    "imin_spread_for_blockers",
+]
+
+
+@dataclass(frozen=True)
+class DKSInstance:
+    """A densest-k-subgraph instance: undirected edges over ``n``
+    vertices and the subgraph size ``k``."""
+
+    n: int
+    edges: tuple[tuple[int, int], ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.k <= self.n:
+            raise ValueError("need 0 < k <= n")
+        for u, v in self.edges:
+            if u == v or not (0 <= u < self.n and 0 <= v < self.n):
+                raise ValueError(f"bad DKS edge ({u}, {v})")
+
+
+@dataclass(frozen=True)
+class ReducedInstance:
+    """The IMIN instance produced by the reduction.
+
+    ``c_vertex[i]`` is the IMIN vertex for DKS vertex ``i``;
+    ``d_vertex[j]`` the IMIN vertex for DKS edge ``j``; ``seed`` the
+    single seed; ``budget`` equals ``k``.
+    """
+
+    graph: DiGraph
+    seed: int
+    budget: int
+    c_vertex: tuple[int, ...]
+    d_vertex: tuple[int, ...]
+    dks: DKSInstance
+
+    def blockers_for(self, dks_vertices: Sequence[int]) -> list[int]:
+        """IMIN blockers corresponding to a DKS vertex subset."""
+        return [self.c_vertex[i] for i in dks_vertices]
+
+    def spread_if_blocking(self, dks_vertices: Sequence[int]) -> float:
+        """Closed-form spread when blocking the given ``C`` vertices
+        (all probabilities are 1, so the spread is a reach count)."""
+        return imin_spread_for_blockers(self, self.blockers_for(dks_vertices))
+
+
+def reduce_dks_to_imin(dks: DKSInstance) -> ReducedInstance:
+    """Build the Figure 2 construction for a DKS instance."""
+    n, m = dks.n, len(dks.edges)
+    graph = DiGraph(1 + n + m)
+    seed = 0
+    c_vertex = tuple(range(1, 1 + n))
+    d_vertex = tuple(range(1 + n, 1 + n + m))
+    for c in c_vertex:
+        graph.add_edge(seed, c, 1.0)
+    for j, (u, v) in enumerate(dks.edges):
+        graph.add_edge(c_vertex[u], d_vertex[j], 1.0)
+        graph.add_edge(c_vertex[v], d_vertex[j], 1.0)
+    return ReducedInstance(
+        graph=graph,
+        seed=seed,
+        budget=dks.k,
+        c_vertex=c_vertex,
+        d_vertex=d_vertex,
+        dks=dks,
+    )
+
+
+def imin_spread_for_blockers(
+    reduced: ReducedInstance, blockers: Sequence[int]
+) -> float:
+    """Deterministic spread of the reduced instance (probabilities 1)."""
+    blocked = set(blockers)
+    if reduced.seed in blocked:
+        raise ValueError("the seed cannot be blocked")
+    active = 1  # the seed
+    blocked_c = set()
+    for i, c in enumerate(reduced.c_vertex):
+        if c in blocked:
+            blocked_c.add(i)
+        else:
+            active += 1
+    for j, (u, v) in enumerate(reduced.dks.edges):
+        if reduced.d_vertex[j] in blocked:
+            continue
+        if u in blocked_c and v in blocked_c:
+            continue  # unreachable: both in-neighbours blocked
+        active += 1
+    return float(active)
+
+
+def densest_k_subgraph_bruteforce(
+    dks: DKSInstance,
+) -> tuple[tuple[int, ...], int]:
+    """Optimal DKS solution by exhaustive search (test oracle).
+
+    Returns ``(vertex_subset, edges_inside)``.
+    """
+    best: tuple[int, ...] = ()
+    best_edges = -1
+    for subset in combinations(range(dks.n), dks.k):
+        inside = set(subset)
+        count = sum(
+            1 for u, v in dks.edges if u in inside and v in inside
+        )
+        if count > best_edges:
+            best = subset
+            best_edges = count
+    return best, best_edges

@@ -1,0 +1,52 @@
+"""Shared fixtures and strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import figure1_graph, figure1_seed
+from repro.graph import DiGraph
+
+
+@pytest.fixture
+def toy_graph() -> DiGraph:
+    """The paper's Figure 1 graph (seed = vertex 0 = v1)."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def toy_seed() -> int:
+    return figure1_seed
+
+
+@pytest.fixture
+def diamond_graph() -> DiGraph:
+    """0 -> {1, 2} -> 3: the smallest graph with a non-trivial idom."""
+    return DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+def random_digraph(
+    n: int,
+    edge_prob: float,
+    rnd: random.Random,
+    prob_choices: tuple[float, ...] = (1.0,),
+) -> DiGraph:
+    """Dense-ish random digraph helper used across test modules."""
+    graph = DiGraph(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rnd.random() < edge_prob:
+                graph.add_edge(u, v, rnd.choice(prob_choices))
+    return graph
+
+
+def random_adjacency(
+    n: int, edge_prob: float, rnd: random.Random
+) -> dict[int, list[int]]:
+    """Random adjacency mapping for dominator-algorithm tests."""
+    return {
+        u: [v for v in range(n) if v != u and rnd.random() < edge_prob]
+        for u in range(n)
+    }

@@ -1,0 +1,96 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.bench import (
+    evaluate_spread,
+    format_series,
+    format_table,
+    pick_seeds,
+    prepare_graph,
+    run_and_evaluate,
+)
+from repro.graph import DiGraph
+from repro.models import TRIVALENCY_VALUES
+
+
+def chain() -> DiGraph:
+    return DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+class TestPrepareGraph:
+    def test_tr_model(self):
+        graph = prepare_graph(chain(), "tr", rng=0)
+        assert all(p in TRIVALENCY_VALUES for _, _, p in graph.edges())
+
+    def test_wc_model(self):
+        graph = prepare_graph(chain(), "wc")
+        assert all(p == 1.0 for _, _, p in graph.edges())  # in-degree 1
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            prepare_graph(chain(), "nope")
+
+
+class TestPickSeeds:
+    def test_count_and_uniqueness(self):
+        seeds = pick_seeds(chain(), 3, rng=0)
+        assert len(seeds) == len(set(seeds)) == 3
+
+    def test_prefers_non_isolated(self):
+        graph = DiGraph.from_edges(10, [(0, 1)])
+        seeds = pick_seeds(graph, 1, rng=1)
+        assert seeds == [0]
+
+    def test_count_clamped_to_n(self):
+        assert len(pick_seeds(chain(), 100, rng=2)) == 5
+
+    def test_deterministic(self):
+        assert pick_seeds(chain(), 2, rng=3) == pick_seeds(chain(), 2, rng=3)
+
+
+class TestEvaluateSpread:
+    def test_deterministic_chain(self):
+        assert evaluate_spread(chain(), [0], [], rounds=5, rng=0) == 5.0
+        assert evaluate_spread(chain(), [0], [2], rounds=5, rng=0) == 2.0
+
+
+class TestRunAndEvaluate:
+    def test_records_time_and_spread(self):
+        run = run_and_evaluate(
+            "static",
+            lambda: [2],
+            chain(),
+            [0],
+            eval_rounds=5,
+        )
+        assert run.name == "static"
+        assert run.blockers == [2]
+        assert run.spread == 2.0
+        assert run.elapsed_seconds >= 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 7]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in text
+        assert "bb" in text
+
+    def test_format_table_special_floats(self):
+        text = format_table(["x"], [[float("nan")], [0.0], [123456.0]])
+        assert "-" in text
+        assert "0" in text
+        assert "e+" in text  # large values in scientific notation
+
+    def test_format_series_shapes(self):
+        text = format_series(
+            "theta", [10, 100], {"AG": [1.0, 2.0], "GR": [3.0, 4.0]}
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["theta", "AG", "GR"]
+        assert len(lines) == 4

@@ -1,0 +1,95 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_block_defaults(self):
+        args = build_parser().parse_args(["block"])
+        assert args.algorithm == "greedy-replace"
+        assert args.budget == 10
+        assert args.model == "tr"
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["block", "--algorithm", "magic"])
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "email-core" in out
+        assert "youtube" in out
+        assert "4039" in out  # Facebook's paper n
+
+    @pytest.mark.parametrize("algorithm", ["ag", "gr", "rand", "outdeg"])
+    def test_block_small_run(self, capsys, algorithm):
+        code = main(
+            [
+                "block",
+                "--dataset", "email-core",
+                "--scale", "0.08",
+                "--budget", "3",
+                "--theta", "30",
+                "--seeds", "2",
+                "--algorithm", algorithm,
+                "--rng", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "blockers=" in out
+        assert "expected spread" in out
+
+    def test_block_bg(self, capsys):
+        code = main(
+            [
+                "block",
+                "--dataset", "email-core",
+                "--scale", "0.05",
+                "--budget", "1",
+                "--mcs-rounds", "20",
+                "--seeds", "2",
+                "--algorithm", "bg",
+                "--rng", "2",
+            ]
+        )
+        assert code == 0
+        assert "algorithm=bg" in capsys.readouterr().out
+
+    def test_spread_estimation(self, capsys):
+        code = main(
+            [
+                "spread",
+                "--dataset", "email-core",
+                "--scale", "0.08",
+                "--theta", "50",
+                "--seeds", "2",
+                "--rng", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "expected spread" in out
+        assert "95% CI" in out
+
+    def test_spread_with_blocked_vertices(self, capsys):
+        code = main(
+            [
+                "spread",
+                "--dataset", "email-core",
+                "--scale", "0.08",
+                "--theta", "30",
+                "--seeds", "1",
+                "--rng", "4",
+                "--block", "0", "1",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,112 @@
+"""Unit tests for dataset stand-ins and subgraph extraction."""
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    dataset_keys,
+    extract_neighborhood_subgraph,
+    extract_subgraphs,
+    figure1_graph,
+    load_dataset,
+    V,
+)
+from repro.graph import reachable_set
+
+
+class TestRegistry:
+    def test_eight_datasets(self):
+        assert len(DATASETS) == 8
+        assert dataset_keys()[0] == "email-core"
+        assert dataset_keys()[-1] == "youtube"
+
+    def test_paper_statistics_recorded(self):
+        info = DATASETS["facebook"]
+        assert info.paper_n == 4039
+        assert info.paper_m == 88234
+        assert not info.directed
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_short_codes(self):
+        g1 = load_dataset("ec", scale=0.1)
+        g2 = load_dataset("email-core", scale=0.1)
+        assert g1.n == g2.n and g1.m == g2.m
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("dblp", scale=0.0)
+
+
+class TestStandIns:
+    @pytest.mark.parametrize("key", list(DATASETS))
+    def test_loads_and_is_nontrivial(self, key):
+        graph = load_dataset(key, scale=0.05)
+        assert graph.n >= 50
+        assert graph.m > graph.n / 2
+
+    @pytest.mark.parametrize("key", ["facebook", "dblp", "youtube"])
+    def test_undirected_standins_are_bidirectional(self, key):
+        graph = load_dataset(key, scale=0.05)
+        for u, v, _ in graph.edges():
+            assert graph.has_edge(v, u)
+
+    def test_deterministic_builds(self):
+        a = load_dataset("wiki-vote", scale=0.1)
+        b = load_dataset("wiki-vote", scale=0.1)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_density_ordering_roughly_preserved(self):
+        # email-core is the densest stand-in, email-all the sparsest
+        dense = load_dataset("email-core", scale=0.2)
+        sparse = load_dataset("email-all", scale=0.2)
+        assert dense.average_degree() > 4 * sparse.average_degree()
+
+
+class TestToyGraph:
+    def test_vertex_name_mapping(self):
+        assert V(1) == 0
+        assert V(9) == 8
+        with pytest.raises(ValueError):
+            V(0)
+
+    def test_structure(self):
+        graph = figure1_graph()
+        assert graph.n == 9
+        assert graph.m == 10
+        assert graph.probability(V(5), V(8)) == 0.5
+        assert graph.probability(V(9), V(8)) == 0.2
+        assert graph.probability(V(8), V(7)) == 0.1
+
+    def test_everything_reachable_from_seed(self):
+        graph = figure1_graph()
+        assert reachable_set(graph, [V(1)]) == set(range(9))
+
+
+class TestSubgraphExtraction:
+    def test_target_size_reached(self):
+        graph = load_dataset("email-core", scale=0.5)
+        sub, ids = extract_neighborhood_subgraph(graph, 100, rng=0)
+        assert sub.n >= 100
+        assert len(ids) == sub.n
+        assert len(set(ids)) == sub.n
+
+    def test_edges_preserved(self):
+        graph = load_dataset("dblp", scale=0.1)
+        sub, ids = extract_neighborhood_subgraph(graph, 50, rng=1)
+        for u, v, p in sub.edges():
+            assert graph.probability(ids[u], ids[v]) == p
+
+    def test_multiple_subgraphs_independent(self):
+        graph = load_dataset("email-core", scale=0.5)
+        subs = extract_subgraphs(graph, count=3, target_size=60, rng=2)
+        assert len(subs) == 3
+        sizes = {sub.n for sub, _ in subs}
+        assert all(size >= 60 for size in sizes)
+
+    def test_small_graph_terminates(self):
+        graph = load_dataset("email-core", scale=0.05)
+        sub, _ = extract_neighborhood_subgraph(graph, 10**6, rng=3)
+        assert sub.n == graph.n

@@ -1,0 +1,148 @@
+"""Unit tests for the DiGraph structure."""
+
+import pytest
+
+from repro.graph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph(0)
+        assert graph.n == 0
+        assert graph.m == 0
+        assert list(graph.edges()) == []
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(-1)
+
+    def test_from_edges_with_default_probability(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)], 0.5)
+        assert graph.probability(0, 1) == 0.5
+        assert graph.probability(1, 2) == 0.5
+
+    def test_from_edges_with_explicit_probability(self):
+        graph = DiGraph.from_edges(3, [(0, 1, 0.3), (1, 2, 0.7)])
+        assert graph.probability(0, 1) == 0.3
+        assert graph.probability(1, 2) == 0.7
+
+    def test_from_edges_duplicate_overwrites(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.3), (0, 1, 0.9)])
+        assert graph.m == 1
+        assert graph.probability(0, 1) == 0.9
+
+    def test_add_vertex_returns_new_id(self):
+        graph = DiGraph(2)
+        assert graph.add_vertex() == 2
+        assert graph.n == 3
+
+
+class TestEdges:
+    def test_add_edge_updates_degrees(self):
+        graph = DiGraph(3)
+        graph.add_edge(0, 1, 0.4)
+        graph.add_edge(0, 2, 0.6)
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(1) == 1
+        assert graph.degree(0) == 2
+        assert graph.m == 2
+
+    def test_self_loop_rejected(self):
+        graph = DiGraph(2)
+        with pytest.raises(ValueError, match="self loop"):
+            graph.add_edge(1, 1)
+
+    def test_out_of_range_vertex_rejected(self):
+        graph = DiGraph(2)
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 5)
+
+    def test_invalid_probability_rejected(self):
+        graph = DiGraph(2)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, 1.5)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, -0.1)
+
+    def test_reinsert_replaces_probability_without_duplicating(self):
+        graph = DiGraph(2)
+        graph.add_edge(0, 1, 0.2)
+        graph.add_edge(0, 1, 0.8)
+        assert graph.m == 1
+        assert graph.in_neighbors(1) == [0]
+        assert graph.probability(0, 1) == 0.8
+
+    def test_combine_edge_noisy_or(self):
+        graph = DiGraph(2)
+        graph.combine_edge(0, 1, 0.5)
+        assert graph.probability(0, 1) == 0.5
+        graph.combine_edge(0, 1, 0.5)
+        assert graph.probability(0, 1) == pytest.approx(0.75)
+
+    def test_remove_edge(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert graph.m == 1
+        assert not graph.has_edge(0, 1)
+        assert graph.in_neighbors(1) == []
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_edges_iteration_covers_all(self):
+        edges = [(0, 1, 0.1), (0, 2, 0.2), (2, 1, 0.3)]
+        graph = DiGraph.from_edges(3, edges)
+        assert sorted(graph.edges()) == sorted(edges)
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        graph = DiGraph.from_edges(3, [(0, 1, 0.5)])
+        clone = graph.copy()
+        clone.add_edge(1, 2, 0.9)
+        assert graph.m == 1
+        assert clone.m == 2
+
+    def test_reverse_flips_edges_preserving_probability(self):
+        graph = DiGraph.from_edges(3, [(0, 1, 0.3), (1, 2, 0.6)])
+        rev = graph.reverse()
+        assert rev.has_edge(1, 0)
+        assert rev.probability(2, 1) == 0.6
+        assert rev.m == graph.m
+
+    def test_induced_subgraph_relabels(self):
+        graph = DiGraph.from_edges(5, [(0, 2, 0.5), (2, 4, 0.7), (1, 3)])
+        sub, to_original = graph.induced_subgraph([0, 2, 4])
+        assert to_original == [0, 2, 4]
+        assert sub.n == 3
+        assert sub.probability(0, 1) == 0.5  # 0 -> 2
+        assert sub.probability(1, 2) == 0.7  # 2 -> 4
+
+    def test_without_vertices_isolates_blocked(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        out = graph.without_vertices([1])
+        assert out.n == 4  # ids preserved
+        assert not out.has_edge(0, 1)
+        assert not out.has_edge(1, 2)
+        assert out.has_edge(0, 3)
+
+    def test_as_bidirectional_adds_missing_reverse_edges(self):
+        graph = DiGraph.from_edges(3, [(0, 1, 0.4), (1, 0, 0.9), (1, 2, 0.2)])
+        out = graph.as_bidirectional()
+        assert out.probability(1, 0) == 0.9  # existing edge untouched
+        assert out.probability(2, 1) == 0.2  # reverse copies forward p
+        assert out.m == 4
+
+
+class TestStatistics:
+    def test_average_and_max_degree(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 0)])
+        assert graph.average_degree() == pytest.approx(2.0)
+        assert graph.max_degree() == 4  # vertex 0: out 3 + in 1
+
+    def test_empty_graph_statistics(self):
+        graph = DiGraph(0)
+        assert graph.average_degree() == 0.0
+        assert graph.max_degree() == 0
+
+    def test_len_matches_n(self):
+        assert len(DiGraph(7)) == 7

@@ -1,0 +1,207 @@
+"""Unit tests for the three dominator-tree implementations."""
+
+import random
+
+import pytest
+
+from repro.dominator import (
+    dominator_sets,
+    dominator_tree_arrays,
+    DominatorTree,
+    immediate_dominators,
+    immediate_dominators_iterative,
+    immediate_dominators_naive,
+    subtree_sizes,
+)
+
+from .conftest import random_adjacency
+
+
+class TestKnownGraphs:
+    def test_chain(self):
+        succ = {0: [1], 1: [2], 2: [3]}
+        assert immediate_dominators(succ, 0) == {1: 0, 2: 1, 3: 2}
+
+    def test_diamond_merges_at_root(self):
+        succ = {0: [1, 2], 1: [3], 2: [3]}
+        idom = immediate_dominators(succ, 0)
+        assert idom == {1: 0, 2: 0, 3: 0}
+
+    def test_diamond_with_neck(self):
+        # 0 -> 1 -> {2, 3} -> 4: vertex 1 dominates everything below
+        succ = {0: [1], 1: [2, 3], 2: [4], 3: [4]}
+        idom = immediate_dominators(succ, 0)
+        assert idom[4] == 1
+        assert idom[2] == 1
+        assert idom[3] == 1
+
+    def test_unreachable_vertices_excluded(self):
+        succ = {0: [1], 2: [3]}
+        idom = immediate_dominators(succ, 0)
+        assert set(idom) == {1}
+
+    def test_single_vertex(self):
+        assert immediate_dominators({0: []}, 0) == {}
+
+    def test_cycle_back_to_root(self):
+        succ = {0: [1], 1: [2], 2: [0, 3]}
+        idom = immediate_dominators(succ, 0)
+        assert idom == {1: 0, 2: 1, 3: 2}
+
+    def test_classic_lengauer_tarjan_example(self):
+        # the flowgraph from the original LT paper (relabelled):
+        # R=0, A=1, B=2, C=3, D=4, E=5, F=6, G=7, H=8, I=9, J=10, K=11, L=12
+        succ = {
+            0: [1, 2, 3],
+            1: [4],
+            2: [1, 4, 5],
+            3: [6, 7],
+            4: [12],
+            5: [8],
+            6: [9],
+            7: [9, 10],
+            8: [5, 11],
+            9: [11],
+            10: [9],
+            11: [0, 9],
+            12: [8],
+        }
+        idom = immediate_dominators(succ, 0)
+        expected = {
+            1: 0, 2: 0, 3: 0, 4: 0, 5: 0, 6: 3, 7: 3,
+            8: 0, 9: 0, 10: 7, 11: 0, 12: 4,
+        }
+        assert idom == expected
+
+    def test_list_adjacency_accepted(self):
+        succ = [[1], [2], []]
+        assert immediate_dominators(succ, 0) == {1: 0, 2: 1}
+
+    def test_nonzero_root(self):
+        succ = {3: [1], 1: [0], 0: []}
+        assert immediate_dominators(succ, 3) == {1: 3, 0: 1}
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("density", [0.1, 0.25, 0.5])
+    def test_random_graphs_agree(self, density):
+        rnd = random.Random(int(density * 100))
+        for _ in range(60):
+            n = rnd.randint(2, 15)
+            succ = random_adjacency(n, density, rnd)
+            lt = immediate_dominators(succ, 0)
+            it = immediate_dominators_iterative(succ, 0)
+            naive = immediate_dominators_naive(succ, 0)
+            assert lt == it == naive
+
+    def test_deep_graph_no_recursion_error(self):
+        n = 30000
+        succ = {i: [i + 1] for i in range(n - 1)}
+        idom = immediate_dominators(succ, 0)
+        assert len(idom) == n - 1
+        assert idom[n - 1] == n - 2
+
+
+class TestDominatorSets:
+    def test_chain_dominators_accumulate(self):
+        succ = {0: [1], 1: [2]}
+        doms = dominator_sets(succ, 0)
+        assert doms[2] == {0, 1, 2}
+        assert doms[1] == {0, 1}
+        assert doms[0] == {0}
+
+
+class TestSubtreeSizes:
+    def test_preorder_idom_arrays(self):
+        # star: root 0 with children 1..3
+        assert subtree_sizes([0, 0, 0, 0]) == [4, 1, 1, 1]
+        # chain
+        assert subtree_sizes([0, 0, 1, 2]) == [4, 3, 2, 1]
+
+    def test_consistency_with_arrays(self):
+        rnd = random.Random(99)
+        for _ in range(30):
+            succ = random_adjacency(12, 0.3, rnd)
+            order, idom = dominator_tree_arrays(succ, 0)
+            sizes = subtree_sizes(idom)
+            assert sizes[0] == len(order)
+            # every subtree size is 1 + sum of its children's sizes
+            computed = [1] * len(order)
+            for w in range(len(order) - 1, 0, -1):
+                computed[idom[w]] += computed[w]
+            assert computed == sizes
+
+
+class TestDominatorTree:
+    def test_idom_and_sizes(self, diamond_graph):
+        succ = {
+            u: diamond_graph.out_neighbors(u)
+            for u in diamond_graph.vertices()
+        }
+        tree = DominatorTree(succ, 0)
+        assert tree.idom(3) == 0
+        assert tree.subtree_size(0) == 4
+        assert tree.subtree_size(1) == 1
+        assert len(tree) == 4
+
+    def test_root_has_no_idom(self):
+        tree = DominatorTree({0: [1]}, 0)
+        with pytest.raises(ValueError):
+            tree.idom(0)
+
+    def test_dominates_relation(self):
+        succ = {0: [1], 1: [2, 3], 2: [4], 3: [4]}
+        tree = DominatorTree(succ, 0)
+        assert tree.dominates(1, 4)
+        assert tree.dominates(0, 4)
+        assert not tree.dominates(2, 4)
+        assert tree.dominates(4, 4)
+        assert not tree.dominates(4, 1)
+
+    def test_dominates_unreachable_is_false(self):
+        tree = DominatorTree({0: [1]}, 0)
+        assert not tree.dominates(0, 5)
+
+    def test_depth_and_children(self):
+        succ = {0: [1], 1: [2, 3]}
+        tree = DominatorTree(succ, 0)
+        assert tree.depth(0) == 0
+        assert tree.depth(3) == 2
+        assert sorted(tree.children(1)) == [2, 3]
+
+    def test_bfs_levels(self):
+        succ = {0: [1], 1: [2, 3]}
+        tree = DominatorTree(succ, 0)
+        levels = tree.bfs_levels()
+        assert levels[0] == [0]
+        assert levels[1] == [1]
+        assert sorted(levels[2]) == [2, 3]
+
+    def test_idom_map_and_size_map(self):
+        succ = {0: [1, 2]}
+        tree = DominatorTree(succ, 0)
+        assert tree.idom_map() == {1: 0, 2: 0}
+        assert tree.subtree_size_map() == {0: 3, 1: 1, 2: 1}
+
+
+class TestRender:
+    def test_render_shows_subtree_sizes(self):
+        succ = {0: [1], 1: [2, 3]}
+        tree = DominatorTree(succ, 0)
+        text = tree.render()
+        lines = text.splitlines()
+        assert lines[0] == "0 [4]"
+        assert any("1 [3]" in line for line in lines)
+        assert sum("[1]" in line for line in lines) == 2
+
+    def test_render_custom_labels(self):
+        tree = DominatorTree({0: [1]}, 0)
+        text = tree.render(label=lambda v: f"v{v + 1}")
+        assert "v1 [2]" in text
+        assert "v2 [1]" in text
+
+    def test_render_truncates(self):
+        succ = {i: [i + 1] for i in range(50)}
+        tree = DominatorTree(succ, 0)
+        text = tree.render(max_vertices=5)
+        assert text.endswith("...")

@@ -1,0 +1,103 @@
+"""Degenerate-input sweep: every algorithm on every pathological graph.
+
+Failure-injection-style coverage: each blocking algorithm must behave
+sensibly (not crash, never block a seed, respect the budget) on inputs
+that stress boundary logic — isolated seeds, no candidates, budgets
+exceeding the graph, unreachable components, all-zero probabilities.
+"""
+
+import pytest
+
+from repro.core.solve import ALGORITHMS, solve_imin
+from repro.graph import DiGraph
+
+FAST_KW = dict(theta=30, mcs_rounds=20, rng=0)
+
+
+def isolated_seed() -> DiGraph:
+    graph = DiGraph(4)
+    graph.add_edge(1, 2)
+    return graph
+
+
+def no_candidates() -> DiGraph:
+    return DiGraph(1)
+
+
+def zero_probabilities() -> DiGraph:
+    return DiGraph.from_edges(4, [(0, 1, 0.0), (1, 2, 0.0), (2, 3, 0.0)])
+
+
+def unreachable_component() -> DiGraph:
+    return DiGraph.from_edges(6, [(0, 1), (2, 3), (3, 4), (4, 5)])
+
+
+def single_edge() -> DiGraph:
+    return DiGraph.from_edges(2, [(0, 1, 0.5)])
+
+
+CASES = {
+    "isolated-seed": isolated_seed,
+    "zero-probabilities": zero_probabilities,
+    "unreachable-component": unreachable_component,
+    "single-edge": single_edge,
+}
+
+
+class TestDegenerateGraphs:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("case", list(CASES))
+    def test_runs_and_respects_contract(self, algorithm, case):
+        graph = CASES[case]()
+        result = solve_imin(
+            graph, [0], budget=2, algorithm=algorithm, **FAST_KW
+        )
+        assert 0 not in result.blockers
+        assert len(result.blockers) <= 2
+        assert len(set(result.blockers)) == len(result.blockers)
+        for blocker in result.blockers:
+            assert 0 <= blocker < graph.n
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_no_candidates_graph(self, algorithm):
+        result = solve_imin(
+            no_candidates(), [0], budget=3, algorithm=algorithm, **FAST_KW
+        )
+        assert result.blockers == []
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_budget_exceeds_graph(self, algorithm):
+        graph = single_edge()
+        result = solve_imin(
+            graph, [0], budget=100, algorithm=algorithm, **FAST_KW
+        )
+        assert set(result.blockers) <= {1}
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_vertices_are_seeds(self, algorithm):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        result = solve_imin(
+            graph, [0, 1, 2], budget=1, algorithm=algorithm, **FAST_KW
+        )
+        assert result.blockers == []
+
+    @pytest.mark.parametrize(
+        "algorithm", ["greedy-replace", "advanced-greedy", "static-greedy"]
+    )
+    def test_budget_zero_everywhere(self, algorithm):
+        graph = unreachable_component()
+        result = solve_imin(
+            graph, [0], budget=0, algorithm=algorithm, **FAST_KW
+        )
+        assert result.blockers == []
+
+    @pytest.mark.parametrize(
+        "algorithm", ["greedy-replace", "advanced-greedy"]
+    )
+    def test_multi_seed_degenerate(self, algorithm):
+        # two seeds, everything else unreachable from them
+        graph = DiGraph.from_edges(5, [(2, 3), (3, 4)])
+        result = solve_imin(
+            graph, [0, 1], budget=2, algorithm=algorithm, **FAST_KW
+        )
+        assert not set(result.blockers) & {0, 1}

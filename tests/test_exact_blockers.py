@@ -1,0 +1,75 @@
+"""Unit tests for the exhaustive Exact blocker search."""
+
+import pytest
+
+from repro.core import exact_blockers
+from repro.datasets import figure1_graph, figure1_seed, V
+from repro.graph import DiGraph
+
+
+class TestToyGraph:
+    def test_budget_one_is_v5(self):
+        """Example 1: the optimal single blocker is v5."""
+        result = exact_blockers(figure1_graph(), [figure1_seed], 1)
+        assert result.blockers == (V(5),)
+        assert result.spread == pytest.approx(3.0)
+        assert result.evaluator == "exact"
+
+    def test_budget_two_is_out_neighbors(self):
+        """Table III: the optimal pair is {v2, v4} with spread 1."""
+        result = exact_blockers(figure1_graph(), [figure1_seed], 2)
+        assert tuple(sorted(result.blockers)) == (V(2), V(4))
+        assert result.spread == pytest.approx(1.0)
+
+    def test_combination_count(self):
+        result = exact_blockers(figure1_graph(), [figure1_seed], 1)
+        assert result.combinations_checked == 8  # C(8, 1)
+
+
+class TestEvaluators:
+    def test_mcs_fallback_on_many_uncertain_edges(self):
+        graph = DiGraph(30)
+        for u in range(29):
+            graph.add_edge(u, u + 1, 0.5)
+        result = exact_blockers(
+            graph, [0], 1, evaluator="auto", rounds=300, rng=0
+        )
+        assert result.evaluator == "mcs"
+        assert result.blockers == (1,)  # cutting right after the seed
+
+    def test_forced_exact_raises_when_infeasible(self):
+        graph = DiGraph(30)
+        for u in range(29):
+            graph.add_edge(u, u + 1, 0.5)
+        with pytest.raises(Exception):
+            exact_blockers(graph, [0], 1, evaluator="exact")
+
+    def test_forced_mcs(self):
+        result = exact_blockers(
+            figure1_graph(), [figure1_seed], 1, evaluator="mcs",
+            rounds=500, rng=1,
+        )
+        assert result.evaluator == "mcs"
+        assert result.blockers == (V(5),)
+
+
+class TestGuards:
+    def test_combination_explosion_guarded(self):
+        graph = DiGraph(40)
+        with pytest.raises(ValueError, match="max_combinations"):
+            exact_blockers(graph, [0], 15, max_combinations=1000)
+
+    def test_candidate_restriction(self):
+        result = exact_blockers(
+            figure1_graph(), [figure1_seed], 1, candidates=[V(2), V(4)]
+        )
+        assert result.blockers[0] in (V(2), V(4))
+
+    def test_budget_zero_returns_unblocked_spread(self):
+        result = exact_blockers(figure1_graph(), [figure1_seed], 0)
+        assert result.blockers == ()
+        assert result.spread == pytest.approx(7.66)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            exact_blockers(DiGraph(2), [0], -1)

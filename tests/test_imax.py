@@ -1,0 +1,87 @@
+"""Unit tests for reverse influence sampling and greedy IMAX."""
+
+import pytest
+
+from repro.datasets import figure1_graph, figure1_seed, V
+from repro.graph import DiGraph
+from repro.imax import generate_rr_sets, greedy_imax
+from repro.spread import exact_expected_spread
+
+
+class TestRRSets:
+    def test_deterministic_graph_rr_sets_are_ancestor_sets(self):
+        # chain 0 -> 1 -> 2 with certain edges: RR(target) = {0..target}
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        collection = generate_rr_sets(graph, 200, rng=0)
+        for rr in collection.sets:
+            target = max(rr)
+            assert rr == frozenset(range(target + 1))
+
+    def test_spread_estimator_matches_exact_toy_graph(self):
+        """Borgs et al.: E(S, G) == n * P[S hits a random RR set]."""
+        graph = figure1_graph()
+        collection = generate_rr_sets(graph, 30000, rng=1)
+        estimate = collection.estimate_spread([figure1_seed])
+        assert estimate == pytest.approx(7.66, abs=0.15)
+
+    def test_spread_estimator_multiple_seeds(self):
+        graph = DiGraph.from_edges(4, [(0, 1, 0.5), (2, 3, 0.5)])
+        collection = generate_rr_sets(graph, 30000, rng=2)
+        exact = exact_expected_spread(graph, [0, 2])
+        assert collection.estimate_spread([0, 2]) == pytest.approx(
+            exact, abs=0.15
+        )
+
+    def test_coverage_bounds(self):
+        graph = DiGraph.from_edges(2, [(0, 1)])
+        collection = generate_rr_sets(graph, 100, rng=3)
+        assert collection.coverage([0]) <= 1.0
+        assert collection.coverage([]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_rr_sets(DiGraph(2), 0)
+        with pytest.raises(ValueError):
+            generate_rr_sets(DiGraph(0), 10)
+
+
+class TestGreedyImax:
+    def test_picks_the_obvious_influencer(self):
+        # vertex 0 reaches everything deterministically; it must win
+        graph = DiGraph.from_edges(
+            5, [(0, 1), (0, 2), (1, 3), (2, 4)]
+        )
+        result = greedy_imax(graph, 1, rr_count=500, rng=0)
+        assert result.seeds == [0]
+        assert result.estimated_spread == pytest.approx(5.0, abs=0.3)
+
+    def test_second_seed_covers_remaining_component(self):
+        graph = DiGraph.from_edges(
+            6, [(0, 1), (1, 2), (3, 4), (4, 5)]
+        )
+        result = greedy_imax(graph, 2, rr_count=2000, rng=1)
+        assert sorted(result.seeds) == [0, 3]
+        assert result.estimated_spread == pytest.approx(6.0, abs=0.3)
+
+    def test_marginal_coverage_non_increasing(self):
+        graph = figure1_graph()
+        result = greedy_imax(graph, 4, rr_count=3000, rng=2)
+        marginals = result.marginal_coverage
+        assert marginals == sorted(marginals, reverse=True)
+
+    def test_budget_zero(self):
+        result = greedy_imax(figure1_graph(), 0, rr_count=100, rng=3)
+        assert result.seeds == []
+        assert result.estimated_spread == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            greedy_imax(DiGraph(2), -1)
+
+    def test_imax_vs_imin_contrast(self):
+        """The pair of problems on the toy graph: the best seed to ADD
+        is upstream (v1 side), the best vertex to BLOCK is v5."""
+        graph = figure1_graph()
+        imax = greedy_imax(graph, 1, rr_count=4000, rng=4)
+        # v1 reaches everything: it is the best single seed
+        assert imax.seeds == [V(1)]

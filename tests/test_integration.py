@@ -1,0 +1,155 @@
+"""End-to-end integration tests across modules.
+
+Each test drives the full pipeline exactly as the experiments do:
+dataset stand-in -> probability model -> seed selection -> algorithm ->
+independent MCS evaluation, checking the qualitative claims of the
+paper at miniature scale.
+"""
+
+import pytest
+
+from repro.bench import evaluate_spread, pick_seeds, prepare_graph
+from repro.core import (
+    advanced_greedy,
+    baseline_greedy,
+    greedy_replace,
+    out_degree_blockers,
+    random_blockers,
+)
+from repro.datasets import extract_subgraphs, load_dataset
+from repro.models import LinearThresholdSampler
+
+
+@pytest.fixture(scope="module")
+def tr_graph():
+    return prepare_graph(load_dataset("email-core", scale=0.3), "tr", rng=0)
+
+
+@pytest.fixture(scope="module")
+def wc_graph():
+    return prepare_graph(load_dataset("email-core", scale=0.3), "wc")
+
+
+class TestPipelineTR:
+    def test_greedy_algorithms_beat_simple_heuristics(self, tr_graph):
+        seeds = pick_seeds(tr_graph, 5, rng=1)
+        budget = 10
+        spreads = {}
+        spreads["rand"] = evaluate_spread(
+            tr_graph, seeds,
+            random_blockers(tr_graph, seeds, budget, rng=2),
+            rounds=600, rng=9,
+        )
+        spreads["ag"] = evaluate_spread(
+            tr_graph, seeds,
+            advanced_greedy(tr_graph, seeds, budget, theta=150, rng=3).blockers,
+            rounds=600, rng=9,
+        )
+        spreads["gr"] = evaluate_spread(
+            tr_graph, seeds,
+            greedy_replace(tr_graph, seeds, budget, theta=150, rng=4).blockers,
+            rounds=600, rng=9,
+        )
+        assert spreads["ag"] < spreads["rand"]
+        assert spreads["gr"] < spreads["rand"]
+
+    def test_blocking_more_does_not_hurt(self, tr_graph):
+        seeds = pick_seeds(tr_graph, 5, rng=5)
+        small = greedy_replace(tr_graph, seeds, 5, theta=150, rng=6)
+        large = greedy_replace(tr_graph, seeds, 15, theta=150, rng=6)
+        spread_small = evaluate_spread(
+            tr_graph, seeds, small.blockers, rounds=600, rng=9
+        )
+        spread_large = evaluate_spread(
+            tr_graph, seeds, large.blockers, rounds=600, rng=9
+        )
+        # estimated, so allow a little noise
+        assert spread_large <= spread_small + 1.0
+
+
+class TestPipelineWC:
+    def test_gr_competitive_with_ag(self, wc_graph):
+        seeds = pick_seeds(wc_graph, 5, rng=1)
+        ag = advanced_greedy(wc_graph, seeds, 10, theta=150, rng=2)
+        gr = greedy_replace(wc_graph, seeds, 10, theta=150, rng=3)
+        ag_spread = evaluate_spread(
+            wc_graph, seeds, ag.blockers, rounds=600, rng=9
+        )
+        gr_spread = evaluate_spread(
+            wc_graph, seeds, gr.blockers, rounds=600, rng=9
+        )
+        # the paper reports GR ~= AG or better; allow 15% noise
+        assert gr_spread <= ag_spread * 1.15
+
+    def test_out_degree_weaker_than_greedy(self, wc_graph):
+        seeds = pick_seeds(wc_graph, 5, rng=4)
+        od_spread = evaluate_spread(
+            wc_graph, seeds,
+            out_degree_blockers(wc_graph, seeds, 10),
+            rounds=600, rng=9,
+        )
+        gr_spread = evaluate_spread(
+            wc_graph, seeds,
+            greedy_replace(wc_graph, seeds, 10, theta=150, rng=5).blockers,
+            rounds=600, rng=9,
+        )
+        assert gr_spread <= od_spread + 0.5
+
+
+class TestAGMatchesBGQuality:
+    """Section V-C's claim at miniature scale."""
+
+    def test_comparable_final_spread(self):
+        graph = prepare_graph(
+            load_dataset("email-core", scale=0.1), "tr", rng=7
+        )
+        seeds = pick_seeds(graph, 3, rng=7)
+        bg = baseline_greedy(graph, seeds, 3, rounds=120, rng=8)
+        ag = advanced_greedy(graph, seeds, 3, theta=120, rng=9)
+        bg_spread = evaluate_spread(
+            graph, seeds, bg.blockers, rounds=1500, rng=10
+        )
+        ag_spread = evaluate_spread(
+            graph, seeds, ag.blockers, rounds=1500, rng=10
+        )
+        assert ag_spread <= bg_spread * 1.2 + 0.5
+
+
+class TestTriggeringExtension:
+    def test_lt_model_end_to_end(self):
+        graph = prepare_graph(
+            load_dataset("email-core", scale=0.15), "wc"
+        )
+        seeds = pick_seeds(graph, 3, rng=11)
+        result = greedy_replace(
+            graph,
+            seeds,
+            budget=5,
+            theta=120,
+            rng=12,
+            sampler_factory=lambda g, rng: LinearThresholdSampler(g, rng),
+        )
+        assert len(result.blockers) == 5
+        assert not set(result.blockers) & set(seeds)
+
+
+class TestSubgraphPipeline:
+    def test_exact_comparison_workflow(self):
+        """The Tables V/VI workflow: subgraphs + GR vs exhaustive."""
+        from repro.core import exact_blockers
+
+        graph = prepare_graph(
+            load_dataset("email-core", scale=0.15), "tr", rng=13
+        )
+        subs = extract_subgraphs(graph, count=1, target_size=30, rng=14)
+        sub, _ = subs[0]
+        seeds = pick_seeds(sub, 2, rng=15)
+        gr = greedy_replace(sub, seeds, 1, theta=400, rng=16)
+        exact = exact_blockers(
+            sub, seeds, 1, evaluator="mcs", rounds=400, rng=17
+        )
+        gr_spread = evaluate_spread(
+            sub, seeds, gr.blockers, rounds=2000, rng=18
+        )
+        # GR within 10% of optimal (paper reports >= 99.88%)
+        assert gr_spread <= exact.spread * 1.10 + 0.5

@@ -1,0 +1,88 @@
+"""Unit tests for edge-list I/O and networkx conversion."""
+
+import io
+
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    from_networkx,
+    read_edge_list,
+    to_networkx,
+    write_edge_list,
+)
+
+
+class TestReadEdgeList:
+    def test_basic_directed(self):
+        text = "# comment\n10 20\n20 30 0.5\n"
+        graph, id_map = read_edge_list(io.StringIO(text))
+        assert graph.n == 3
+        assert graph.m == 2
+        assert graph.probability(id_map[10], id_map[20]) == 1.0
+        assert graph.probability(id_map[20], id_map[30]) == 0.5
+
+    def test_undirected_adds_both_directions(self):
+        graph, id_map = read_edge_list(
+            io.StringIO("1 2\n"), directed=False
+        )
+        assert graph.m == 2
+        assert graph.has_edge(id_map[1], id_map[2])
+        assert graph.has_edge(id_map[2], id_map[1])
+
+    def test_self_loops_skipped(self):
+        graph, _ = read_edge_list(io.StringIO("5 5\n5 6\n"))
+        assert graph.m == 1
+
+    def test_default_probability_applied(self):
+        graph, id_map = read_edge_list(
+            io.StringIO("0 1\n"), default_probability=0.25
+        )
+        assert graph.probability(id_map[0], id_map[1]) == 0.25
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            read_edge_list(io.StringIO("42\n"))
+
+    def test_roundtrip_through_file(self, tmp_path):
+        graph = DiGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.125)])
+        path = tmp_path / "edges.txt"
+        write_edge_list(graph, path)
+        loaded, id_map = read_edge_list(path)
+        assert loaded.m == graph.m
+        assert loaded.probability(id_map[0], id_map[1]) == 0.5
+        assert loaded.probability(id_map[1], id_map[2]) == 0.125
+
+
+class TestWriteEdgeList:
+    def test_without_probabilities(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.5)])
+        buffer = io.StringIO()
+        write_edge_list(graph, buffer, include_probabilities=False)
+        lines = buffer.getvalue().strip().splitlines()
+        assert lines[0].startswith("#")
+        assert lines[1] == "0 1"
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self):
+        graph = DiGraph.from_edges(4, [(0, 1, 0.3), (1, 2, 0.7), (3, 0, 1.0)])
+        back = from_networkx(to_networkx(graph))
+        assert sorted(back.edges()) == sorted(graph.edges())
+
+    def test_undirected_networkx_graph(self):
+        nx = pytest.importorskip("networkx")
+        ug = nx.Graph()
+        ug.add_edge(0, 1, probability=0.5)
+        graph = from_networkx(ug)
+        assert graph.m == 2
+        assert graph.probability(0, 1) == 0.5
+        assert graph.probability(1, 0) == 0.5
+
+    def test_self_loops_dropped(self):
+        nx = pytest.importorskip("networkx")
+        dg = nx.DiGraph()
+        dg.add_edge(0, 0)
+        dg.add_edge(0, 1)
+        graph = from_networkx(dg)
+        assert graph.m == 1

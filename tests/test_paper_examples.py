@@ -1,0 +1,146 @@
+"""Golden tests: every numeric claim of the paper's worked examples.
+
+These pin the library to the paper:
+
+* Example 1 — activation probabilities and E({v1}, G) = 7.66 on the
+  Figure 1 graph; blocking v5 gives 3; blocking v2 or v4 gives 6.66.
+* Example 2 — per-vertex expected-spread decreases via dominator trees
+  (v5: 4.66, v9: 1.11, v8: 0.66, v7: 0.06, others: 1).
+* Example 3 / Table III — Greedy, OutNeighbors and GreedyReplace
+  outcomes for budgets 1 and 2.
+* Theorem 2's proof — the supermodularity counterexample values.
+"""
+
+import pytest
+
+from repro.core import (
+    advanced_greedy,
+    exact_blockers,
+    greedy_replace,
+    out_neighbors_blockers,
+)
+from repro.datasets import figure1_graph, figure1_seed, V
+from repro.spread import (
+    exact_activation_probabilities,
+    exact_expected_spread,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return figure1_graph()
+
+
+SEED = figure1_seed
+
+
+class TestExample1:
+    def test_certain_activations(self, graph):
+        probs = exact_activation_probabilities(graph, [SEED])
+        for i in (1, 2, 3, 4, 5, 6, 9):
+            assert probs[V(i)] == 1.0
+
+    def test_v8_activation_probability(self, graph):
+        probs = exact_activation_probabilities(graph, [SEED])
+        assert probs[V(8)] == pytest.approx(0.6)
+
+    def test_v7_activation_probability(self, graph):
+        probs = exact_activation_probabilities(graph, [SEED])
+        assert probs[V(7)] == pytest.approx(0.06)
+
+    def test_expected_spread_766(self, graph):
+        assert exact_expected_spread(graph, [SEED]) == pytest.approx(7.66)
+
+    def test_blocking_v5_gives_3(self, graph):
+        assert exact_expected_spread(
+            graph, [SEED], blocked=[V(5)]
+        ) == pytest.approx(3.0)
+
+    def test_blocking_v2_or_v4_gives_666(self, graph):
+        for i in (2, 4):
+            assert exact_expected_spread(
+                graph, [SEED], blocked=[V(i)]
+            ) == pytest.approx(6.66)
+
+    def test_v5_is_optimal_single_blocker(self, graph):
+        result = exact_blockers(graph, [SEED], 1)
+        assert result.blockers == (V(5),)
+
+
+class TestExample2:
+    """Exact spread decreases (the dominator-tree estimator's target)."""
+
+    EXPECTED = {
+        2: 1.0, 3: 1.0, 4: 1.0, 5: 4.66, 6: 1.0, 7: 0.06, 8: 0.66, 9: 1.11,
+    }
+
+    def test_exact_decreases(self, graph):
+        base = exact_expected_spread(graph, [SEED])
+        for i, expected in self.EXPECTED.items():
+            decrease = base - exact_expected_spread(
+                graph, [SEED], blocked=[V(i)]
+            )
+            assert decrease == pytest.approx(expected), f"v{i}"
+
+
+class TestTableIII:
+    """Blockers and expected spreads of Greedy / OutNeighbors / GR."""
+
+    def test_greedy_b1(self, graph):
+        result = advanced_greedy(graph, [SEED], 1, theta=2000, rng=0)
+        assert result.blockers == [V(5)]
+        assert exact_expected_spread(
+            graph, [SEED], blocked=result.blockers
+        ) == pytest.approx(3.0)
+
+    def test_greedy_b2(self, graph):
+        result = advanced_greedy(graph, [SEED], 2, theta=2000, rng=1)
+        spread = exact_expected_spread(
+            graph, [SEED], blocked=result.blockers
+        )
+        assert spread == pytest.approx(2.0)
+
+    def test_out_neighbors_b1(self, graph):
+        blockers = out_neighbors_blockers(graph, [SEED], 1, theta=500, rng=2)
+        assert exact_expected_spread(
+            graph, [SEED], blocked=blockers
+        ) == pytest.approx(6.66)
+
+    def test_out_neighbors_b2(self, graph):
+        blockers = out_neighbors_blockers(graph, [SEED], 2, theta=500, rng=3)
+        assert exact_expected_spread(
+            graph, [SEED], blocked=blockers
+        ) == pytest.approx(1.0)
+
+    def test_greedy_replace_b1(self, graph):
+        result = greedy_replace(graph, [SEED], 1, theta=2000, rng=4)
+        assert result.blockers == [V(5)]
+
+    def test_greedy_replace_b2(self, graph):
+        result = greedy_replace(graph, [SEED], 2, theta=2000, rng=5)
+        assert sorted(result.blockers) == [V(2), V(4)]
+        assert exact_expected_spread(
+            graph, [SEED], blocked=result.blockers
+        ) == pytest.approx(1.0)
+
+    def test_gr_beats_greedy_at_b2(self, graph):
+        """The motivating observation: GR(2) < Greedy(2)."""
+        gr = greedy_replace(graph, [SEED], 2, theta=2000, rng=6)
+        ag = advanced_greedy(graph, [SEED], 2, theta=2000, rng=7)
+        gr_spread = exact_expected_spread(graph, [SEED], blocked=gr.blockers)
+        ag_spread = exact_expected_spread(graph, [SEED], blocked=ag.blockers)
+        assert gr_spread < ag_spread
+
+
+class TestTheorem2Counterexample:
+    def test_marginals(self, graph):
+        def f(blockers):
+            return exact_expected_spread(graph, [SEED], blocked=blockers)
+
+        x_set = [V(3)]
+        y_set = [V(2), V(3)]
+        x = V(4)
+        assert f(x_set) == pytest.approx(6.66)
+        assert f(y_set) == pytest.approx(5.66)
+        assert f(x_set + [x]) == pytest.approx(5.66)
+        assert f(y_set + [x]) == pytest.approx(1.0)

@@ -1,0 +1,135 @@
+"""Unit tests for the IMIN instance and multi-seed unification."""
+
+import pytest
+
+from repro.core import IMINInstance, unify_seeds
+from repro.graph import DiGraph
+from repro.spread import exact_expected_spread
+
+
+class TestIMINInstance:
+    def test_candidates_exclude_seeds(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        instance = IMINInstance(graph, (0, 2), budget=1)
+        assert instance.candidates == [1, 3]
+
+    def test_validation(self):
+        graph = DiGraph(3)
+        with pytest.raises(ValueError):
+            IMINInstance(graph, (0,), budget=-1)
+        with pytest.raises(ValueError):
+            IMINInstance(graph, (), budget=1)
+        with pytest.raises(IndexError):
+            IMINInstance(graph, (9,), budget=1)
+        with pytest.raises(ValueError):
+            IMINInstance(graph, (0, 0), budget=1)
+
+    def test_budget_clamped_to_candidate_count(self):
+        graph = DiGraph(3)
+        instance = IMINInstance(graph, (0,), budget=10)
+        assert instance.budget == 2
+
+
+class TestSingleSeedUnification:
+    def test_identity_transform(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        unified = unify_seeds(graph, [0])
+        assert unified.graph is graph
+        assert unified.source == 0
+        assert unified.spread_offset == 0.0
+        assert unified.blockers_to_original([2]) == [2]
+        assert unified.spread_to_original(5.0) == 5.0
+
+
+class TestMultiSeedUnification:
+    def test_structure(self):
+        # seeds 0 and 1 both point at 2; 2 -> 3
+        graph = DiGraph.from_edges(
+            4, [(0, 2, 0.5), (1, 2, 0.5), (2, 3, 1.0)]
+        )
+        unified = unify_seeds(graph, [0, 1])
+        assert unified.graph.n == 3  # vertices {2, 3} + source
+        assert unified.source == 2
+        source_edges = dict(unified.graph.successors(unified.source))
+        # noisy-or: 1 - 0.5 * 0.5 = 0.75
+        assert source_edges[unified.from_original[2]] == pytest.approx(0.75)
+
+    def test_edges_into_seeds_dropped(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (2, 0), (1, 2)])
+        unified = unify_seeds(graph, [0])
+        # single seed: identity — try with two seeds
+        graph2 = DiGraph.from_edges(4, [(0, 2), (1, 2), (2, 0), (3, 1)])
+        unified2 = unify_seeds(graph2, [0, 1])
+        for u, v, _ in unified2.graph.edges():
+            assert unified2.to_original[v] is not None or v == unified2.source
+            assert u != unified2.from_original[2] or v != unified2.source
+
+    def test_seed_to_seed_edges_dropped(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        unified = unify_seeds(graph, [0, 1])
+        assert unified.graph.m == 1  # only source -> 2
+
+    def test_spread_preserved_exactly(self):
+        graph = DiGraph.from_edges(
+            6,
+            [
+                (0, 2, 0.5),
+                (1, 2, 0.4),
+                (1, 3, 1.0),
+                (2, 4, 0.5),
+                (3, 4, 0.25),
+                (4, 5, 1.0),
+            ],
+        )
+        seeds = [0, 1]
+        original = exact_expected_spread(graph, seeds)
+        unified = unify_seeds(graph, seeds)
+        transformed = exact_expected_spread(
+            unified.graph, [unified.source]
+        )
+        assert unified.spread_to_original(transformed) == pytest.approx(
+            original
+        )
+
+    def test_spread_preserved_under_blocking(self):
+        graph = DiGraph.from_edges(
+            5,
+            [(0, 2, 0.5), (1, 2, 0.5), (2, 3, 0.5), (2, 4, 1.0)],
+        )
+        seeds = [0, 1]
+        unified = unify_seeds(graph, seeds)
+        blocked_original = [3]
+        blocked_unified = [unified.from_original[3]]
+        original = exact_expected_spread(graph, seeds, blocked_original)
+        transformed = exact_expected_spread(
+            unified.graph, [unified.source], blocked_unified
+        )
+        assert unified.spread_to_original(transformed) == pytest.approx(
+            original
+        )
+
+    def test_blocker_translation_roundtrip(self):
+        graph = DiGraph.from_edges(5, [(0, 2), (1, 3), (3, 4)])
+        unified = unify_seeds(graph, [0, 1])
+        for original in (2, 3, 4):
+            mapped = unified.from_original[original]
+            assert unified.blockers_to_original([mapped]) == [original]
+
+    def test_source_cannot_be_translated(self):
+        graph = DiGraph.from_edges(3, [(0, 2), (1, 2)])
+        unified = unify_seeds(graph, [0, 1])
+        with pytest.raises(ValueError):
+            unified.blockers_to_original([unified.source])
+
+    def test_duplicate_seeds_deduplicated(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        unified = unify_seeds(graph, [0, 0])
+        assert unified.seeds == (0,)
+        assert unified.spread_offset == 0.0
+
+    def test_validation(self):
+        graph = DiGraph(2)
+        with pytest.raises(ValueError):
+            unify_seeds(graph, [])
+        with pytest.raises(IndexError):
+            unify_seeds(graph, [7])

@@ -1,0 +1,79 @@
+"""Unit tests for propagation-probability assignment."""
+
+import pytest
+
+from repro.graph import DiGraph
+from repro.models import (
+    assign_constant,
+    assign_trivalency,
+    assign_uniform,
+    assign_weighted_cascade,
+    TRIVALENCY_VALUES,
+)
+
+
+def star_graph() -> DiGraph:
+    return DiGraph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 3)])
+
+
+class TestTrivalency:
+    def test_values_from_the_trivalency_set(self):
+        graph = assign_trivalency(star_graph(), rng=0)
+        for _, _, p in graph.edges():
+            assert p in TRIVALENCY_VALUES
+
+    def test_all_three_values_appear_eventually(self):
+        graph = DiGraph.from_edges(
+            100, [(0, i) for i in range(1, 100)]
+        )
+        assign_trivalency(graph, rng=1)
+        assert {p for _, _, p in graph.edges()} == set(TRIVALENCY_VALUES)
+
+    def test_custom_values(self):
+        graph = assign_trivalency(star_graph(), rng=2, values=(0.5,))
+        assert all(p == 0.5 for _, _, p in graph.edges())
+
+    def test_deterministic_given_seed(self):
+        a = assign_trivalency(star_graph(), rng=3)
+        b = assign_trivalency(star_graph(), rng=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestWeightedCascade:
+    def test_inverse_in_degree(self):
+        graph = assign_weighted_cascade(star_graph())
+        assert graph.probability(0, 1) == 1.0  # in-degree 1
+        assert graph.probability(0, 3) == 0.5  # in-degree 2
+        assert graph.probability(1, 3) == 0.5
+
+    def test_in_probabilities_sum_to_one(self):
+        graph = assign_weighted_cascade(star_graph())
+        for v in graph.vertices():
+            if graph.in_degree(v):
+                total = sum(
+                    graph.probability(u, v) for u in graph.in_neighbors(v)
+                )
+                assert total == pytest.approx(1.0)
+
+
+class TestConstantAndUniform:
+    def test_constant(self):
+        graph = assign_constant(star_graph(), 0.2)
+        assert all(p == 0.2 for _, _, p in graph.edges())
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            assign_constant(star_graph(), 1.2)
+
+    def test_uniform_within_bounds(self):
+        graph = assign_uniform(star_graph(), 0.2, 0.4, rng=4)
+        for _, _, p in graph.edges():
+            assert 0.2 <= p <= 0.4
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            assign_uniform(star_graph(), 0.5, 0.2)
+
+    def test_returns_graph_for_chaining(self):
+        graph = star_graph()
+        assert assign_constant(graph, 0.1) is graph

@@ -1,0 +1,43 @@
+"""Unit tests for sigma statistics on sampled graphs."""
+
+import random
+
+from repro.sampling import sigma, sigma_through, sigma_through_all
+
+from .conftest import random_adjacency
+
+
+class TestSigma:
+    def test_counts_source(self):
+        assert sigma({0: [1]}, 0) == 2
+        assert sigma({}, 0) == 1
+
+    def test_chain(self):
+        succ = {0: [1], 1: [2], 2: [3]}
+        assert sigma(succ, 0) == 4
+        assert sigma(succ, 2) == 2
+
+
+class TestSigmaThrough:
+    def test_chain_midpoint_cuts_tail(self):
+        succ = {0: [1], 1: [2], 2: [3]}
+        # removing 1 strands 1, 2 and 3
+        assert sigma_through(succ, 0, 1) == 3
+        assert sigma_through(succ, 0, 3) == 1
+
+    def test_parallel_paths_not_dominated(self):
+        succ = {0: [1, 2], 1: [3], 2: [3]}
+        # 3 stays reachable without 1
+        assert sigma_through(succ, 0, 1) == 1
+
+    def test_all_vertices_version_matches_single(self):
+        rnd = random.Random(21)
+        for _ in range(25):
+            succ = random_adjacency(10, 0.25, rnd)
+            full = sigma_through_all(succ, 0)
+            for u, value in full.items():
+                assert value == sigma_through(succ, 0, u)
+
+    def test_unreachable_vertices_absent(self):
+        succ = {0: [1], 2: [3]}
+        assert set(sigma_through_all(succ, 0)) == {1}

@@ -1,0 +1,47 @@
+"""Unit tests for the RNG plumbing."""
+
+import random
+
+import numpy as np
+
+from repro.rng import ensure_rng, python_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+
+class TestPythonRng:
+    def test_returns_stdlib_random(self):
+        assert isinstance(python_rng(0), random.Random)
+
+    def test_derived_deterministically(self):
+        a = python_rng(7).random()
+        b = python_rng(7).random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert python_rng(1).random() != python_rng(2).random()
+
+
+class TestSpawnRng:
+    def test_child_stream_differs_from_parent_continuation(self):
+        parent = np.random.default_rng(3)
+        child = spawn_rng(parent)
+        continuation = parent.random(4)
+        assert not np.array_equal(child.random(4), continuation)
+
+    def test_deterministic_given_parent_state(self):
+        a = spawn_rng(np.random.default_rng(5)).random(3)
+        b = spawn_rng(np.random.default_rng(5)).random(3)
+        assert np.array_equal(a, b)

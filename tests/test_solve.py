@@ -1,0 +1,72 @@
+"""Unit tests for the unified solve_imin façade."""
+
+import pytest
+
+from repro.core.solve import ALGORITHMS, solve_imin
+from repro.datasets import figure1_graph, figure1_seed, V
+from repro.spread import exact_expected_spread
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_runs(self, algorithm):
+        result = solve_imin(
+            figure1_graph(),
+            [figure1_seed],
+            budget=2,
+            algorithm=algorithm,
+            theta=300,
+            mcs_rounds=200,
+            rng=0,
+        )
+        assert result.algorithm == algorithm
+        assert 1 <= len(result.blockers) <= 2
+        assert figure1_seed not in result.blockers
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            solve_imin(figure1_graph(), [figure1_seed], 1, "magic")
+
+    def test_case_insensitive(self):
+        result = solve_imin(
+            figure1_graph(), [figure1_seed], 1,
+            algorithm="Greedy-Replace", theta=500, rng=1,
+        )
+        assert result.algorithm == "greedy-replace"
+
+
+class TestResultSemantics:
+    def test_sampling_methods_estimate_spread(self):
+        result = solve_imin(
+            figure1_graph(), [figure1_seed], 1,
+            algorithm="greedy-replace", theta=2000, rng=2,
+        )
+        assert result.estimated_spread == pytest.approx(3.0, abs=0.2)
+
+    def test_ranking_heuristics_return_none_estimate(self):
+        result = solve_imin(
+            figure1_graph(), [figure1_seed], 2, algorithm="out-degree"
+        )
+        assert result.estimated_spread is None
+
+    def test_exact_returns_optimum(self):
+        result = solve_imin(
+            figure1_graph(), [figure1_seed], 2, algorithm="exact"
+        )
+        assert sorted(result.blockers) == [V(2), V(4)]
+        assert result.estimated_spread == pytest.approx(1.0)
+
+    def test_quality_ordering_on_toy_graph(self):
+        """greedy-replace must not lose to random on the toy graph."""
+        graph = figure1_graph()
+
+        def spread_of(algorithm):
+            result = solve_imin(
+                graph, [figure1_seed], 2,
+                algorithm=algorithm, theta=1500, mcs_rounds=300, rng=3,
+            )
+            return exact_expected_spread(
+                graph, [figure1_seed], blocked=result.blockers
+            )
+
+        assert spread_of("greedy-replace") <= spread_of("random")

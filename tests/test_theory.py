@@ -1,0 +1,158 @@
+"""Tests for the hardness reduction (Theorems 1/3) and spread
+properties (Theorem 2)."""
+
+import random
+
+import pytest
+
+from repro.core import exact_blockers
+from repro.datasets import figure1_graph, figure1_seed, V
+from repro.spread import exact_expected_spread
+from repro.theory import (
+    check_monotonicity,
+    densest_k_subgraph_bruteforce,
+    DKSInstance,
+    find_supermodularity_violation,
+    imin_spread_for_blockers,
+    reduce_dks_to_imin,
+)
+
+
+def square_dks() -> DKSInstance:
+    """The 4-vertex, 4-edge example of Figure 2."""
+    return DKSInstance(4, ((0, 1), (1, 2), (2, 3), (3, 0)), k=2)
+
+
+class TestReductionStructure:
+    def test_figure2_sizes(self):
+        reduced = reduce_dks_to_imin(square_dks())
+        assert reduced.graph.n == 1 + 4 + 4
+        # n seed edges + 2 edges per DKS edge
+        assert reduced.graph.m == 4 + 8
+        assert reduced.budget == 2
+
+    def test_all_probabilities_one(self):
+        reduced = reduce_dks_to_imin(square_dks())
+        assert all(p == 1.0 for _, _, p in reduced.graph.edges())
+
+    def test_d_vertices_have_two_in_edges(self):
+        reduced = reduce_dks_to_imin(square_dks())
+        for d in reduced.d_vertex:
+            assert reduced.graph.in_degree(d) == 2
+            assert reduced.graph.out_degree(d) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DKSInstance(3, ((0, 0),), k=1)
+        with pytest.raises(ValueError):
+            DKSInstance(3, ((0, 5),), k=1)
+        with pytest.raises(ValueError):
+            DKSInstance(3, (), k=0)
+
+
+class TestReductionSpreadFormula:
+    def test_closed_form_matches_exact_spread(self):
+        reduced = reduce_dks_to_imin(square_dks())
+        for subset in ((), (0,), (0, 1), (1, 3)):
+            blockers = reduced.blockers_for(subset)
+            closed = imin_spread_for_blockers(reduced, blockers)
+            exact = exact_expected_spread(
+                reduced.graph, [reduced.seed], blocked=blockers
+            )
+            assert closed == exact
+
+    def test_spread_counts_stranded_d_vertices(self):
+        reduced = reduce_dks_to_imin(square_dks())
+        # blocking adjacent vertices {0, 1} strands edge (0,1)'s vertex:
+        # spread = 1 + (4 - 2) + (4 - 1) = 6
+        assert reduced.spread_if_blocking([0, 1]) == 6.0
+        # blocking opposite corners {0, 2} strands two edges... no:
+        # each edge has one blocked endpoint only, so nothing stranded
+        assert reduced.spread_if_blocking([0, 2]) == 7.0
+
+    def test_blocking_seed_rejected(self):
+        reduced = reduce_dks_to_imin(square_dks())
+        with pytest.raises(ValueError):
+            imin_spread_for_blockers(reduced, [reduced.seed])
+
+
+class TestReductionEquivalence:
+    """Optimal IMIN blocking == densest k-subgraph (Theorem 1)."""
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_random_instances(self, trial):
+        rnd = random.Random(trial)
+        n = rnd.randint(4, 6)
+        edges = tuple(
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rnd.random() < 0.5
+        )
+        if not edges:
+            pytest.skip("degenerate draw with no edges")
+        k = rnd.randint(1, n - 1)
+        dks = DKSInstance(n, edges, k)
+        reduced = reduce_dks_to_imin(dks)
+
+        _, best_edges = densest_k_subgraph_bruteforce(dks)
+        optimal = exact_blockers(
+            reduced.graph,
+            [reduced.seed],
+            reduced.budget,
+            candidates=list(reduced.c_vertex),
+        )
+        # spread = 1 + (n - k) + (m - g)  =>  g = 1 + n + m - k - spread
+        recovered = 1 + n + len(edges) - k - optimal.spread
+        assert recovered == best_edges
+
+
+class TestMonotonicity:
+    def test_toy_graph_chain(self):
+        graph = figure1_graph()
+        chain = [[], [V(2)], [V(2), V(4)], [V(2), V(4), V(5)]]
+        assert check_monotonicity(graph, [figure1_seed], chain)
+
+    def test_detects_fabricated_violation(self):
+        # a chain that is NOT ordered by inclusion can increase spread
+        graph = figure1_graph()
+        chain = [[V(5)], [V(2)]]  # spreads 3.0 then 6.66
+        assert not check_monotonicity(graph, [figure1_seed], chain)
+
+
+class TestSupermodularity:
+    def test_theorem2_counterexample_on_figure1(self):
+        """The paper's exact counterexample: X={v3}, Y={v2,v3}, x=v4."""
+        graph = figure1_graph()
+        seeds = [figure1_seed]
+
+        def f(blockers):
+            return exact_expected_spread(graph, seeds, blocked=blockers)
+
+        assert f([V(3)]) == pytest.approx(6.66)
+        assert f([V(2), V(3)]) == pytest.approx(5.66)
+        assert f([V(3), V(4)]) == pytest.approx(5.66)
+        assert f([V(2), V(3), V(4)]) == pytest.approx(1.0)
+        gain_small = f([V(3), V(4)]) - f([V(3)])
+        gain_large = f([V(2), V(3), V(4)]) - f([V(2), V(3)])
+        assert gain_small == pytest.approx(-1.0)
+        assert gain_large == pytest.approx(-4.66)
+        assert gain_small > gain_large  # supermodularity violated
+
+    def test_search_finds_violation_on_figure1(self):
+        witness = find_supermodularity_violation(
+            figure1_graph(), [figure1_seed], max_set_size=2, rng=0
+        )
+        assert witness is not None
+        assert witness.marginal_small > witness.marginal_large
+        assert "SupermodularityViolation" in repr(witness)
+
+    def test_no_violation_on_disjoint_star(self):
+        # blocking leaves of a star is modular: no violation exists
+        from repro.graph import DiGraph
+
+        star = DiGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        witness = find_supermodularity_violation(
+            star, [0], max_set_size=2, rng=1
+        )
+        assert witness is None

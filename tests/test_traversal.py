@@ -1,0 +1,91 @@
+"""Unit tests for traversals."""
+
+import random
+
+from repro.graph import (
+    bfs_order,
+    dfs_preorder,
+    DiGraph,
+    is_out_tree,
+    reachable_set,
+    reachable_set_adj,
+)
+
+from .conftest import random_digraph
+
+
+class TestBFS:
+    def test_order_starts_with_sources(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert bfs_order(graph, [0]) == [0, 1, 2, 3]
+
+    def test_multiple_sources(self):
+        graph = DiGraph.from_edges(5, [(0, 2), (1, 3), (3, 4)])
+        order = bfs_order(graph, [0, 1])
+        assert order[:2] == [0, 1]
+        assert set(order) == {0, 1, 2, 3, 4}
+
+    def test_duplicate_sources_counted_once(self):
+        graph = DiGraph.from_edges(2, [(0, 1)])
+        assert bfs_order(graph, [0, 0]) == [0, 1]
+
+    def test_unreachable_excluded(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert set(bfs_order(graph, [0])) == {0, 1}
+
+
+class TestDFS:
+    def test_preorder_visits_reachable(self):
+        graph = DiGraph.from_edges(5, [(0, 1), (0, 2), (1, 3)])
+        order = dfs_preorder(graph, 0)
+        assert order[0] == 0
+        assert set(order) == {0, 1, 2, 3}
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50000
+        graph = DiGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+        assert len(dfs_preorder(graph, 0)) == n
+
+    def test_matches_bfs_vertex_set(self):
+        rnd = random.Random(5)
+        for _ in range(20):
+            graph = random_digraph(12, 0.2, rnd)
+            assert set(dfs_preorder(graph, 0)) == set(bfs_order(graph, [0]))
+
+
+class TestReachability:
+    def test_blocked_vertices_cut_paths(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert reachable_set(graph, [0], blocked=[1]) == {0}
+        assert reachable_set(graph, [0], blocked=[2]) == {0, 1}
+
+    def test_blocked_source_is_unreachable(self):
+        graph = DiGraph.from_edges(2, [(0, 1)])
+        assert reachable_set(graph, [0], blocked=[0]) == set()
+
+    def test_adjacency_variant_agrees(self):
+        rnd = random.Random(6)
+        for _ in range(20):
+            graph = random_digraph(10, 0.25, rnd)
+            succ = {u: graph.out_neighbors(u) for u in graph.vertices()}
+            assert reachable_set_adj(succ, 0) == reachable_set(graph, [0])
+
+
+class TestIsOutTree:
+    def test_accepts_path_and_star(self):
+        path = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        star = DiGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert is_out_tree(path, 0)
+        assert is_out_tree(star, 0)
+
+    def test_rejects_extra_in_edge(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        assert not is_out_tree(graph, 0)
+
+    def test_rejects_unreachable_vertex(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert not is_out_tree(graph, 0)
+
+    def test_rejects_root_with_in_edge(self):
+        graph = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        assert not is_out_tree(graph, 0)

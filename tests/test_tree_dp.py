@@ -1,0 +1,90 @@
+"""Unit tests for the optimal tree dynamic program."""
+
+import pytest
+
+from repro.core import exact_blockers, optimal_tree_blockers
+from repro.graph import DiGraph, random_out_tree
+from repro.models import assign_uniform
+from repro.spread import exact_spread_dag
+
+
+class TestSmallTrees:
+    def test_path_blocks_first_vertex(self):
+        tree = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        result = optimal_tree_blockers(tree, 0, 1)
+        assert result.blockers == (1,)
+        assert result.spread == 1.0
+        assert result.removed_mass == pytest.approx(3.0)
+
+    def test_star_picks_heaviest_children(self):
+        tree = DiGraph.from_edges(
+            4, [(0, 1, 1.0), (0, 2, 0.5), (0, 3, 0.25)]
+        )
+        result = optimal_tree_blockers(tree, 0, 2)
+        assert result.blockers == (1, 2)
+        assert result.spread == pytest.approx(1.25)
+
+    def test_ancestor_subsumes_descendant(self):
+        # blocking 1 already removes 2 and 3; budget 2 should use the
+        # second blocker elsewhere
+        tree = DiGraph.from_edges(
+            5, [(0, 1), (1, 2), (1, 3), (0, 4, 0.5)]
+        )
+        result = optimal_tree_blockers(tree, 0, 2)
+        assert set(result.blockers) == {1, 4}
+
+    def test_budget_zero(self):
+        tree = DiGraph.from_edges(2, [(0, 1, 0.5)])
+        result = optimal_tree_blockers(tree, 0, 0)
+        assert result.blockers == ()
+        assert result.spread == pytest.approx(1.5)
+
+    def test_budget_exceeding_tree(self):
+        tree = DiGraph.from_edges(3, [(0, 1), (0, 2)])
+        result = optimal_tree_blockers(tree, 0, 10)
+        assert set(result.blockers) == {1, 2}
+        assert result.spread == 1.0
+
+    def test_probabilistic_path_weights(self):
+        # blocking 1 removes 0.5 + 0.25; blocking 2 removes 0.25 only
+        tree = DiGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.5)])
+        result = optimal_tree_blockers(tree, 0, 1)
+        assert result.blockers == (1,)
+        assert result.removed_mass == pytest.approx(0.75)
+
+
+class TestValidation:
+    def test_non_tree_rejected(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        with pytest.raises(ValueError, match="out-tree"):
+            optimal_tree_blockers(graph, 0, 1)
+
+    def test_negative_budget_rejected(self):
+        tree = DiGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            optimal_tree_blockers(tree, 0, -1)
+
+
+class TestOptimality:
+    """The DP must match exhaustive search on random trees."""
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_matches_exhaustive_search(self, trial):
+        tree = random_out_tree(9, rng=trial, max_children=3)
+        assign_uniform(tree, 0.3, 1.0, rng=trial + 100)
+        for budget in (1, 2, 3):
+            dp = optimal_tree_blockers(tree, 0, budget)
+            brute = exact_blockers(tree, [0], budget)
+            assert dp.spread == pytest.approx(brute.spread, abs=1e-9)
+
+    def test_spread_consistent_with_closed_form(self):
+        tree = random_out_tree(15, rng=42, max_children=4)
+        assign_uniform(tree, 0.2, 0.9, rng=43)
+        result = optimal_tree_blockers(tree, 0, 3)
+        assert result.spread == pytest.approx(
+            exact_spread_dag(tree, 0, blocked=result.blockers)
+        )
+        total = exact_spread_dag(tree, 0)
+        assert result.spread == pytest.approx(
+            total - result.removed_mass, abs=1e-9
+        )

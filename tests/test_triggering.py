@@ -1,0 +1,150 @@
+"""Unit tests for the triggering-model samplers (Section V-E)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, DiGraph
+from repro.models import (
+    assign_weighted_cascade,
+    GeneralTriggeringSampler,
+    LinearThresholdSampler,
+)
+from repro.sampling import EdgeSampler
+
+
+def wc_graph() -> DiGraph:
+    graph = DiGraph.from_edges(
+        4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]
+    )
+    return assign_weighted_cascade(graph)
+
+
+class TestLinearThresholdSampler:
+    def test_at_most_one_in_edge_per_vertex(self):
+        sampler = LinearThresholdSampler(wc_graph(), rng=0)
+        csr = sampler.csr
+        for _ in range(50):
+            surviving = sampler.sample_surviving_edges()
+            targets = csr.indices[surviving].tolist()
+            assert len(targets) == len(set(targets))
+
+    def test_selection_frequency_matches_weights(self):
+        # vertex 3 has three in-edges of weight 1/3 each
+        sampler = LinearThresholdSampler(wc_graph(), rng=1)
+        csr = sampler.csr
+        in_edges_of_3 = [
+            j for j in range(csr.m) if csr.indices[j] == 3
+        ]
+        counts = dict.fromkeys(in_edges_of_3, 0)
+        rounds = 6000
+        for _ in range(rounds):
+            for j in sampler.sample_surviving_edges().tolist():
+                if j in counts:
+                    counts[j] += 1
+        for j in in_edges_of_3:
+            assert counts[j] / rounds == pytest.approx(1 / 3, abs=0.03)
+
+    def test_weights_above_one_rejected(self):
+        graph = DiGraph.from_edges(3, [(0, 2, 0.8), (1, 2, 0.8)])
+        with pytest.raises(ValueError, match="sum to at most 1"):
+            LinearThresholdSampler(graph)
+
+    def test_sub_stochastic_weights_allow_no_selection(self):
+        graph = DiGraph.from_edges(2, [(0, 1, 0.3)])
+        sampler = LinearThresholdSampler(graph, rng=2)
+        hits = sum(
+            len(sampler.sample_surviving_edges()) for _ in range(4000)
+        )
+        assert hits / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_blocked_vertex_receives_nothing(self):
+        sampler = LinearThresholdSampler(wc_graph(), rng=3)
+        sampler.block([3])
+        csr = sampler.csr
+        for _ in range(30):
+            targets = csr.indices[sampler.sample_surviving_edges()]
+            assert 3 not in targets
+
+    def test_unblock_restores_selection(self):
+        sampler = LinearThresholdSampler(wc_graph(), rng=4)
+        sampler.block([3])
+        sampler.unblock([3])
+        csr = sampler.csr
+        seen_3 = any(
+            3 in csr.indices[sampler.sample_surviving_edges()]
+            for _ in range(50)
+        )
+        assert seen_3
+
+    def test_explicit_weight_vector(self):
+        graph = DiGraph.from_edges(3, [(0, 2, 1.0), (1, 2, 1.0)])
+        csr = CSRGraph(graph)
+        weights = np.array([1.0, 0.0])
+        sampler = LinearThresholdSampler(graph, rng=5, weights=weights)
+        for _ in range(20):
+            surviving = sampler.sample_surviving_edges()
+            assert surviving.tolist() == [0]
+
+    def test_wrong_weight_shape_rejected(self):
+        graph = DiGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError, match="one entry per edge"):
+            LinearThresholdSampler(graph, weights=np.array([0.1, 0.2]))
+
+    def test_empty_graph(self):
+        sampler = LinearThresholdSampler(DiGraph(3), rng=6)
+        assert sampler.sample_surviving_edges().size == 0
+
+    def test_implements_protocol(self):
+        assert isinstance(
+            LinearThresholdSampler(wc_graph(), rng=0), EdgeSampler
+        )
+
+
+class TestGeneralTriggeringSampler:
+    def test_full_triggering_set_keeps_all_edges(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        sampler = GeneralTriggeringSampler(
+            graph, draw=lambda v, sources, gen: sources, rng=0
+        )
+        assert sampler.sample_surviving_edges().tolist() == [0, 1, 2]
+
+    def test_empty_triggering_set_removes_all_edges(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (0, 2)])
+        sampler = GeneralTriggeringSampler(
+            graph, draw=lambda v, sources, gen: (), rng=1
+        )
+        assert sampler.sample_surviving_edges().size == 0
+
+    def test_blocked_target_and_source_excluded(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        sampler = GeneralTriggeringSampler(
+            graph, draw=lambda v, sources, gen: sources, rng=2
+        )
+        sampler.block([1])
+        surviving = sampler.sample_surviving_edges()
+        csr = sampler.csr
+        for j in surviving.tolist():
+            assert csr.indices[j] != 1
+            assert csr.src[j] != 1
+
+    def test_unblock(self):
+        graph = DiGraph.from_edges(2, [(0, 1)])
+        sampler = GeneralTriggeringSampler(
+            graph, draw=lambda v, sources, gen: sources, rng=3
+        )
+        sampler.block([1])
+        assert sampler.sample_surviving_edges().size == 0
+        sampler.unblock([1])
+        assert sampler.sample_surviving_edges().size == 1
+
+    def test_probabilistic_draw_uses_rng(self):
+        graph = DiGraph.from_edges(2, [(0, 1)])
+
+        def draw(v, sources, gen):
+            return [s for s in sources if gen.random() < 0.25]
+
+        sampler = GeneralTriggeringSampler(graph, draw=draw, rng=4)
+        hits = sum(
+            sampler.sample_surviving_edges().size for _ in range(4000)
+        )
+        assert hits / 4000 == pytest.approx(0.25, abs=0.03)
