@@ -1,0 +1,160 @@
+"""Engine throughput: scalar vs vectorized vs parallel vs pooled.
+
+The acceptance bar for ``repro.engine``: on a synthetic graph with
+>= 10k vertices at 1000 evaluation rounds, the vectorized backend must
+beat the scalar ``MonteCarloEngine`` by >= 5x, with the parallel
+backend scaling further with worker count (visible on multi-core
+hosts; on a single core it degenerates to the vectorized kernel plus
+process overhead).
+
+Run standalone (CI smoke uses tiny sizes)::
+
+    python benchmarks/bench_engine_throughput.py --n 2000 --rounds 200
+    python benchmarks/bench_engine_throughput.py            # full size
+
+or through pytest-benchmark like the other reproduction benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import format_table, pick_seeds
+from repro.engine import default_workers, make_evaluator
+from repro.graph import barabasi_albert
+from repro.models import assign_weighted_cascade
+from repro.spread import MonteCarloEngine
+
+try:  # pytest package context vs standalone script
+    from .conftest import emit
+except ImportError:  # pragma: no cover - script mode
+    def emit(name: str, text: str) -> None:
+        print(text)
+
+RESULT_FILE = "engine_throughput"
+
+
+def build_graph(n: int, attach: int, rng: int):
+    """Heavy-tailed synthetic graph under the paper's WC model."""
+    return assign_weighted_cascade(barabasi_albert(n, attach, rng=rng))
+
+
+def run_throughput(
+    n: int = 10_000,
+    attach: int = 5,
+    rounds: int = 1000,
+    num_seeds: int = 10,
+    rng: int = 7,
+    workers: tuple[int, ...] = (),
+    scalar_rounds: int | None = None,
+) -> list[list[object]]:
+    """Time every backend; returns table rows.
+
+    ``scalar_rounds`` caps the scalar reference's measured rounds (its
+    per-round cost is constant, so the per-round time extrapolates);
+    the accelerated backends always run the full ``rounds``.
+    """
+    graph = build_graph(n, attach, rng)
+    seeds = pick_seeds(graph, num_seeds, rng=rng)
+    if not workers:
+        workers = (default_workers(),)
+
+    rows: list[list[object]] = []
+
+    measured = min(rounds, scalar_rounds or rounds)
+    engine = MonteCarloEngine(graph, rng)
+    start = time.perf_counter()
+    spread = engine.expected_spread(seeds, measured)
+    per_round = (time.perf_counter() - start) / measured
+    scalar_per_round = per_round
+    rows.append(
+        ["scalar", measured, round(spread, 2),
+         round(per_round * 1e3, 4), "1.0x"]
+    )
+
+    def time_backend(label: str, evaluator) -> None:
+        evaluator.expected_spread(seeds, min(rounds, 16))  # warm-up
+        start = time.perf_counter()
+        est = evaluator.expected_spread(seeds, rounds)
+        per = (time.perf_counter() - start) / rounds
+        rows.append(
+            [label, rounds, round(est, 2), round(per * 1e3, 4),
+             f"{scalar_per_round / per:.1f}x"]
+        )
+        close = getattr(evaluator, "close", None)
+        if close is not None:
+            close()
+
+    time_backend("vectorized", make_evaluator(graph, "vectorized", rng=rng))
+    for w in workers:
+        time_backend(
+            f"parallel[w={w}]",
+            make_evaluator(graph, "parallel", rng=rng, workers=w),
+        )
+    pooled = make_evaluator(graph, "pooled", rng=rng)
+    time_backend("pooled (cold)", pooled)
+    time_backend("pooled (warm)", pooled)  # samples already materialised
+
+    return rows
+
+
+def render(rows: list[list[object]], n: int, rounds: int) -> str:
+    return format_table(
+        ["backend", "rounds", "spread", "ms/round", "speedup"],
+        rows,
+        title=(
+            f"engine throughput — expected_spread on a BA stand-in "
+            f"(n={n}, WC model, {rounds} rounds)"
+        ),
+    )
+
+
+def test_engine_throughput(benchmark):
+    """pytest-benchmark entry, scaled for suite runtime."""
+    n, rounds = 10_000, 1000
+    rows = benchmark.pedantic(
+        lambda: run_throughput(n=n, rounds=rounds, scalar_rounds=200),
+        rounds=1,
+        iterations=1,
+    )
+    emit(RESULT_FILE, render(rows, n, rounds))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--attach", type=int, default=5)
+    parser.add_argument("--rounds", type=int, default=1000)
+    parser.add_argument("--seeds", type=int, default=10)
+    parser.add_argument("--rng", type=int, default=7)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="*",
+        default=[],
+        help="parallel worker counts to sweep (default: all cores)",
+    )
+    parser.add_argument(
+        "--scalar-rounds",
+        type=int,
+        default=None,
+        help="cap the scalar reference's measured rounds (extrapolated)",
+    )
+    args = parser.parse_args(argv)
+    rows = run_throughput(
+        n=args.n,
+        attach=args.attach,
+        rounds=args.rounds,
+        num_seeds=args.seeds,
+        rng=args.rng,
+        workers=tuple(args.workers),
+        scalar_rounds=args.scalar_rounds,
+    )
+    emit(RESULT_FILE, render(rows, args.n, args.rounds))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,12 @@ Package map
     model (LT) extension.
 ``repro.spread``
     Monte-Carlo and exact expected-spread computation.
+``repro.engine``
+    The production spread-evaluation engine: vectorized batch
+    kernels, a persistent (optionally disk-backed) live-edge sample
+    pool, a multi-core executor with deterministic per-worker RNG
+    streams, and the pluggable ``SpreadEvaluator`` protocol the
+    algorithms and benchmarks accept.
 ``repro.sampling``
     Live-edge sampled graphs, reachability statistics, Theorem 5
     sample-size bounds.
@@ -63,6 +69,13 @@ from .core import (
 )
 from .bench import evaluate_spread
 from .dominator import DominatorTree, immediate_dominators
+from .engine import (
+    make_evaluator,
+    ParallelEvaluator,
+    SamplePool,
+    SpreadEvaluator,
+    VectorizedEvaluator,
+)
 from .graph import CSRGraph, DiGraph
 from .models import (
     assign_constant,
@@ -101,6 +114,12 @@ __all__ = [
     "MonteCarloEngine",
     "simulate_cascade",
     "expected_spread_mcs",
+    # the evaluation engine
+    "SpreadEvaluator",
+    "make_evaluator",
+    "VectorizedEvaluator",
+    "ParallelEvaluator",
+    "SamplePool",
     "exact_expected_spread",
     "exact_activation_probabilities",
     "estimate_spread_sampled",

@@ -108,6 +108,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "AG/GR under the Linear Threshold triggering model",
             "bench_ext_triggering.py",
         ),
+        Experiment(
+            "engine-throughput", "(extension)",
+            "scalar vs vectorized vs parallel vs pooled spread oracle",
+            "bench_engine_throughput.py",
+        ),
     )
 }
 

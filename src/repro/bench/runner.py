@@ -12,12 +12,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Literal, Sequence
+from typing import Callable, Literal, Sequence, TYPE_CHECKING
 
 from ..graph import DiGraph
 from ..models import assign_trivalency, assign_weighted_cascade
 from ..rng import ensure_rng, RngLike
 from ..spread import MonteCarloEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from ..engine import SpreadEvaluator
 
 __all__ = [
     "prepare_graph",
@@ -74,13 +77,28 @@ def evaluate_spread(
     blockers: Sequence[int],
     rounds: int = 2000,
     rng: RngLike = None,
+    evaluator: "SpreadEvaluator | None" = None,
 ) -> float:
     """Independent MCS evaluation of a blocker set's final spread.
 
     The paper evaluates final quality with 10^5 MCS rounds; 2000 keeps
     pure-Python benches tractable with a ~2% standard error at our
     spread magnitudes.
+
+    ``evaluator`` (built on ``graph``; see
+    :func:`repro.engine.make_evaluator`) routes the evaluation through
+    a vectorized/parallel/pooled backend; the default is a fresh
+    scalar engine, reproducing historical fixed-seed values exactly.
+    Precedence: when ``evaluator`` is given, ``rng`` is ignored — the
+    evaluator's own stream (fixed at its construction) is used, and a
+    *stateful* evaluator advances that stream across calls, so
+    repeated calls score on different random worlds.  To preserve the
+    common-random-numbers comparison that a fixed ``rng`` gives across
+    algorithms, inject a ``pooled`` evaluator (every call reuses the
+    same sample worlds) or a fresh evaluator per call.
     """
+    if evaluator is not None:
+        return evaluator.expected_spread(list(seeds), rounds, list(blockers))
     engine = MonteCarloEngine(graph, rng)
     return engine.expected_spread(list(seeds), rounds, list(blockers))
 
@@ -92,13 +110,15 @@ def run_and_evaluate(
     seeds: Sequence[int],
     eval_rounds: int = 2000,
     eval_rng: RngLike = 12345,
+    evaluator: "SpreadEvaluator | None" = None,
 ) -> AlgorithmRun:
     """Time ``select()`` and evaluate its blockers with a common MCS."""
     start = time.perf_counter()
     blockers = list(select())
     elapsed = time.perf_counter() - start
     spread = evaluate_spread(
-        graph, seeds, blockers, rounds=eval_rounds, rng=eval_rng
+        graph, seeds, blockers, rounds=eval_rounds, rng=eval_rng,
+        evaluator=evaluator,
     )
     return AlgorithmRun(
         name=name,

@@ -28,6 +28,7 @@ import time
 from .bench import evaluate_spread, pick_seeds, prepare_graph
 from .core import ALGORITHMS, solve_imin
 from .datasets import DATASETS, load_dataset
+from .engine import BACKENDS, make_evaluator
 from .sampling import estimate_spread_sampled
 
 __all__ = ["main", "build_parser"]
@@ -112,6 +113,21 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
         "--seeds", type=int, default=10, help="number of random seeds"
     )
     sub.add_argument("--rng", type=int, default=42, help="random seed")
+    sub.add_argument(
+        "--engine",
+        choices=BACKENDS,
+        default="scalar",
+        help=(
+            "spread-evaluation backend (default: scalar, the exact "
+            "historical behaviour; see repro.engine)"
+        ),
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine parallel (default: all cores)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -157,6 +173,31 @@ _SHORT_NAMES = {
 }
 
 
+def _make_engine(args, graph, stream: int = 0):
+    """The injected evaluator, or None for the historical default.
+
+    ``stream`` derives independent RNG streams from ``--rng`` so the
+    selection loop and the final quality evaluation never share random
+    worlds (with the pooled backend, sharing would score the winner on
+    the very samples that selected it).
+    """
+    if args.workers is not None:
+        if args.workers < 1:
+            print("error: --workers must be >= 1")
+            raise SystemExit(2)
+        if args.engine != "parallel":
+            print("error: --workers requires --engine parallel")
+            raise SystemExit(2)
+    if args.engine == "scalar":
+        return None
+    import numpy as np
+
+    rng = np.random.default_rng(np.random.SeedSequence((args.rng, stream)))
+    return make_evaluator(
+        graph, args.engine, rng=rng, workers=args.workers
+    )
+
+
 def _cmd_block(args) -> int:
     graph, seeds = _load(args)
     print(
@@ -164,6 +205,7 @@ def _cmd_block(args) -> int:
         f"model={args.model} seeds={seeds}"
     )
     algorithm = _SHORT_NAMES.get(args.algorithm, args.algorithm)
+    selector = _make_engine(args, graph, stream=0)
     start = time.perf_counter()
     blockers = solve_imin(
         graph,
@@ -173,10 +215,22 @@ def _cmd_block(args) -> int:
         theta=args.theta,
         mcs_rounds=args.mcs_rounds,
         rng=args.rng,
+        evaluator=selector,
     ).blockers
     elapsed = time.perf_counter() - start
-    spread = evaluate_spread(graph, seeds, blockers, rng=args.rng)
-    unblocked = evaluate_spread(graph, seeds, [], rng=args.rng)
+    # final quality is judged by a separate evaluator stream so the
+    # selection's random worlds are never reused to score their winner
+    judge = _make_engine(args, graph, stream=1)
+    spread = evaluate_spread(
+        graph, seeds, blockers, rng=args.rng, evaluator=judge
+    )
+    unblocked = evaluate_spread(
+        graph, seeds, [], rng=args.rng, evaluator=judge
+    )
+    for engine in (selector, judge):
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     print(f"algorithm={args.algorithm} time={elapsed:.3f}s")
     print(f"blockers={sorted(blockers)}")
     print(
@@ -191,14 +245,25 @@ def _cmd_spread(args) -> int:
     blocked = [v for v in args.block if v not in set(seeds)]
     if len(blocked) != len(args.block):
         print("note: ignoring blocked ids that are seeds")
-    estimate = estimate_spread_sampled(
-        graph, seeds, theta=args.theta, rng=args.rng, blocked=blocked
-    )
-    low, high = estimate.confidence_interval()
     print(
         f"dataset={args.dataset} n={graph.n} m={graph.m} "
         f"model={args.model} seeds={seeds} blocked={blocked}"
     )
+    evaluator = _make_engine(args, graph)
+    if evaluator is not None:
+        mean = evaluator.expected_spread(seeds, args.theta, blocked)
+        close = getattr(evaluator, "close", None)
+        if close is not None:
+            close()
+        print(
+            f"expected spread = {mean:.3f} "
+            f"(engine={args.engine}, rounds={args.theta})"
+        )
+        return 0
+    estimate = estimate_spread_sampled(
+        graph, seeds, theta=args.theta, rng=args.rng, blocked=blocked
+    )
+    low, high = estimate.confidence_interval()
     print(
         f"expected spread = {estimate.mean:.3f} "
         f"(95% CI [{low:.3f}, {high:.3f}], theta={estimate.theta})"

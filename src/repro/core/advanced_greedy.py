@@ -11,13 +11,16 @@ methods average the same live-edge statistic (Section V-C).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Sequence, TYPE_CHECKING
 
 from ..graph import DiGraph
 from ..rng import ensure_rng, RngLike
 from ..sampling import EdgeSampler, ICSampler
 from .decrease import decrease_es_computation
 from .problem import unify_seeds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from ..engine import SpreadEvaluator
 
 __all__ = ["BlockingResult", "advanced_greedy", "SamplerFactory"]
 
@@ -56,6 +59,7 @@ def advanced_greedy(
     rng: RngLike = None,
     sampler_factory: SamplerFactory | None = None,
     stop_when_exhausted: bool = True,
+    evaluator: "SpreadEvaluator | None" = None,
 ) -> BlockingResult:
     """AdvancedGreedy blocker selection (Algorithm 3).
 
@@ -79,6 +83,13 @@ def advanced_greedy(
         When True (default), stop early once no candidate decreases the
         spread — blocking more vertices cannot help, and the problem
         statement asks for *at most* ``b`` blockers.
+    evaluator:
+        Optional spread evaluator built on the **original** graph (see
+        :func:`repro.engine.make_evaluator`).  When given, the returned
+        ``estimated_spread`` is that evaluator's independent estimate
+        of the final blocker set over ``theta`` rounds, instead of the
+        selection's own sampled-graph estimate.  Selection itself is
+        unchanged.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
@@ -122,9 +133,15 @@ def advanced_greedy(
         round_spreads.append(result.spread)
         estimated = result.spread
 
+    blockers = unified.blockers_to_original(blockers_unified)
+    estimated_original = unified.spread_to_original(estimated)
+    if evaluator is not None:
+        estimated_original = evaluator.expected_spread(
+            list(seeds), theta, blockers
+        )
     return BlockingResult(
-        blockers=unified.blockers_to_original(blockers_unified),
-        estimated_spread=unified.spread_to_original(estimated),
+        blockers=blockers,
+        estimated_spread=estimated_original,
         round_spreads=round_spreads,
         round_deltas=round_deltas,
     )

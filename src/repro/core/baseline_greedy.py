@@ -10,11 +10,14 @@ datasets; we reproduce it faithfully as the efficiency baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, TYPE_CHECKING
 
-from ..graph import CSRGraph, DiGraph
+from ..graph import DiGraph
 from ..rng import ensure_rng, RngLike
 from ..spread import MonteCarloEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from ..engine import SpreadEvaluator
 
 __all__ = ["BaselineGreedyResult", "baseline_greedy"]
 
@@ -37,6 +40,7 @@ def baseline_greedy(
     rounds: int = 1000,
     rng: RngLike = None,
     candidates: Sequence[int] | None = None,
+    evaluator: "SpreadEvaluator | None" = None,
 ) -> BaselineGreedyResult:
     """BaselineGreedy with Monte-Carlo spread estimation (Algorithm 1).
 
@@ -51,14 +55,22 @@ def baseline_greedy(
         vertices).  Used by the benchmark harness to keep BG's runtime
         measurable on the larger stand-ins, mirroring how the paper
         caps BG with a 24-hour timeout.
+    evaluator:
+        Spread oracle for the inner loop (see
+        :func:`repro.engine.make_evaluator`).  Defaults to a fresh
+        scalar :class:`~repro.spread.MonteCarloEngine`, which
+        reproduces the historical fixed-seed results exactly; the
+        vectorized/parallel/pooled backends trade the RNG stream for
+        throughput.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
     seed_list = list(seeds)
     seed_set = set(seed_list)
-    engine = MonteCarloEngine(
-        graph if isinstance(graph, (DiGraph, CSRGraph)) else graph,
-        ensure_rng(rng),
+    engine = (
+        MonteCarloEngine(graph, ensure_rng(rng))
+        if evaluator is None
+        else evaluator
     )
     if candidates is None:
         pool = [v for v in range(engine.csr.n) if v not in seed_set]

@@ -19,7 +19,7 @@ the natural reading of "returns the set B of b blockers".
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, TYPE_CHECKING
 
 from ..graph import DiGraph
 from ..rng import ensure_rng, RngLike
@@ -27,6 +27,9 @@ from ..sampling import EdgeSampler, ICSampler
 from .advanced_greedy import BlockingResult, SamplerFactory
 from .decrease import decrease_es_computation
 from .problem import unify_seeds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from ..engine import SpreadEvaluator
 
 __all__ = ["greedy_replace"]
 
@@ -39,13 +42,16 @@ def greedy_replace(
     rng: RngLike = None,
     sampler_factory: SamplerFactory | None = None,
     fill_budget: bool = True,
+    evaluator: "SpreadEvaluator | None" = None,
 ) -> BlockingResult:
     """GreedyReplace blocker selection (Algorithm 4).
 
     Parameters mirror :func:`~repro.core.advanced_greedy.advanced_greedy`;
     ``fill_budget=False`` reproduces the paper's literal pseudocode,
     which leaves the blocker set smaller than ``b`` when the source has
-    fewer than ``b`` out-neighbours.
+    fewer than ``b`` out-neighbours.  ``evaluator`` (if given, built on
+    the original graph) re-estimates the final blocker set's spread
+    independently over ``theta`` rounds; selection is unchanged.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
@@ -127,9 +133,15 @@ def greedy_replace(
         round_spreads.append(result.spread)
         estimated = result.spread
 
+    blockers_original = unified.blockers_to_original(blockers)
+    estimated_original = unified.spread_to_original(estimated)
+    if evaluator is not None:
+        estimated_original = evaluator.expected_spread(
+            list(seeds), theta, blockers_original
+        )
     return BlockingResult(
-        blockers=unified.blockers_to_original(blockers),
-        estimated_spread=unified.spread_to_original(estimated),
+        blockers=blockers_original,
+        estimated_spread=estimated_original,
         round_spreads=round_spreads,
         round_deltas=round_deltas,
     )

@@ -9,10 +9,13 @@ code (and the CLI) need not import each module.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, TYPE_CHECKING
 
 from ..graph import DiGraph
 from ..rng import RngLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from ..engine import SpreadEvaluator
 from .advanced_greedy import advanced_greedy
 from .baseline_greedy import baseline_greedy
 from .exact import exact_blockers
@@ -64,6 +67,7 @@ def solve_imin(
     theta: int = 1000,
     mcs_rounds: int = 1000,
     rng: RngLike = None,
+    evaluator: "SpreadEvaluator | None" = None,
 ) -> SolveResult:
     """Select blockers with the named algorithm.
 
@@ -73,22 +77,34 @@ def solve_imin(
         One of :data:`ALGORITHMS`.  ``theta`` applies to the
         sampled-graph methods, ``mcs_rounds`` to ``baseline-greedy``
         and the MCS fallback of ``exact``.
+    evaluator:
+        Optional spread evaluator built on ``graph`` (see
+        :func:`repro.engine.make_evaluator`).  ``baseline-greedy``
+        uses it as its inner-loop oracle; the sampled-graph greedy
+        methods use it to re-estimate the final spread.  Heuristics
+        and ``exact`` ignore it.  Default ``None`` reproduces
+        historical fixed-seed results exactly.
     """
     name = algorithm.lower()
     if name == "greedy-replace":
-        result = greedy_replace(graph, seeds, budget, theta=theta, rng=rng)
+        result = greedy_replace(
+            graph, seeds, budget, theta=theta, rng=rng, evaluator=evaluator
+        )
         return SolveResult(name, result.blockers, result.estimated_spread)
     if name == "advanced-greedy":
-        result = advanced_greedy(graph, seeds, budget, theta=theta, rng=rng)
+        result = advanced_greedy(
+            graph, seeds, budget, theta=theta, rng=rng, evaluator=evaluator
+        )
         return SolveResult(name, result.blockers, result.estimated_spread)
     if name == "static-greedy":
         result = static_sample_greedy(
-            graph, seeds, budget, theta=theta, rng=rng
+            graph, seeds, budget, theta=theta, rng=rng, evaluator=evaluator
         )
         return SolveResult(name, result.blockers, result.estimated_spread)
     if name == "baseline-greedy":
         result = baseline_greedy(
-            graph, seeds, budget, rounds=mcs_rounds, rng=rng
+            graph, seeds, budget, rounds=mcs_rounds, rng=rng,
+            evaluator=evaluator,
         )
         return SolveResult(name, result.blockers, result.estimated_spread)
     if name == "exact":

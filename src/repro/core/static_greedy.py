@@ -26,7 +26,7 @@ edges)``; intended for pools up to a few thousand samples.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from ..rng import ensure_rng, RngLike
 from ..sampling import adjacency_from_edges, EdgeSampler, ICSampler
 from .advanced_greedy import BlockingResult, SamplerFactory
 from .problem import unify_seeds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from ..engine import SpreadEvaluator
 
 __all__ = ["static_sample_greedy"]
 
@@ -47,12 +50,15 @@ def static_sample_greedy(
     theta: int = 1000,
     rng: RngLike = None,
     sampler_factory: SamplerFactory | None = None,
+    evaluator: "SpreadEvaluator | None" = None,
 ) -> BlockingResult:
     """AdvancedGreedy over a fixed pool of ``theta`` sampled graphs.
 
     Parameters match
     :func:`~repro.core.advanced_greedy.advanced_greedy`; the pool is
     drawn up front from the same sampler the plain algorithm would use.
+    ``evaluator`` (if given, built on the original graph) re-estimates
+    the final blocker set's spread independently over ``theta`` rounds.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
@@ -118,9 +124,15 @@ def static_sample_greedy(
         round_deltas.append(best_value)
         estimated = spread - best_value
 
+    blockers_original = unified.blockers_to_original(blockers)
+    estimated_original = unified.spread_to_original(estimated)
+    if evaluator is not None:
+        estimated_original = evaluator.expected_spread(
+            list(seeds), theta, blockers_original
+        )
     return BlockingResult(
-        blockers=unified.blockers_to_original(blockers),
-        estimated_spread=unified.spread_to_original(estimated),
+        blockers=blockers_original,
+        estimated_spread=estimated_original,
         round_spreads=round_spreads,
         round_deltas=round_deltas,
     )

@@ -1,0 +1,63 @@
+"""repro.engine — the spread-evaluation engine.
+
+The paper's contribution is making the spread oracle cheap enough for
+greedy blocking at scale; this subsystem is that oracle's production
+form.  Four pieces:
+
+:mod:`repro.engine.kernels`
+    Vectorized batch simulation of independent cascades (one numpy
+    coin draw per BFS level of a whole batch).
+:mod:`repro.engine.pool`
+    Persistent, optionally disk-backed (mmapped) live-edge sample pool
+    with hit/miss stats — the paper's sample-reuse trick generalised
+    across queries and processes.
+:mod:`repro.engine.parallel`
+    Worker-pool executor with deterministic per-worker RNG streams.
+:mod:`repro.engine.evaluator`
+    The :class:`SpreadEvaluator` protocol, the backend implementations
+    and the :func:`make_evaluator` factory; the scalar
+    :class:`~repro.spread.MonteCarloEngine` is the reference backend.
+
+Algorithms and the benchmark harness accept any
+:class:`SpreadEvaluator` by dependency injection; see
+``baseline_greedy(..., evaluator=...)`` and
+``repro.bench.evaluate_spread(..., evaluator=...)``.
+"""
+
+from .evaluator import (
+    BACKENDS,
+    make_evaluator,
+    PooledEvaluator,
+    ScalarEvaluator,
+    SpreadEvaluator,
+    VectorizedEvaluator,
+)
+from .kernels import (
+    batch_activation_counts,
+    batch_cascades,
+    batch_spread,
+    ragged_arange,
+    reach_counts_from_alive,
+)
+from .parallel import default_workers, ParallelEvaluator, split_rounds
+from .pool import PoolStats, SampleBatch, SamplePool
+
+__all__ = [
+    "SpreadEvaluator",
+    "ScalarEvaluator",
+    "VectorizedEvaluator",
+    "ParallelEvaluator",
+    "PooledEvaluator",
+    "BACKENDS",
+    "make_evaluator",
+    "batch_cascades",
+    "batch_spread",
+    "batch_activation_counts",
+    "reach_counts_from_alive",
+    "ragged_arange",
+    "SamplePool",
+    "SampleBatch",
+    "PoolStats",
+    "default_workers",
+    "split_rounds",
+]

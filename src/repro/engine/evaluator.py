@@ -1,0 +1,238 @@
+"""The ``SpreadEvaluator`` protocol and its backend facade.
+
+Every consumer of a spread oracle — BaselineGreedy's inner loop, the
+final-quality evaluation of the benchmark harness, the CLI — needs the
+same one-method surface: *"expected spread of these seeds over this
+many rounds with these vertices blocked"*.  This module names that
+surface as a protocol and provides one constructor,
+:func:`make_evaluator`, over the four interchangeable backends:
+
+``scalar``
+    The original pure-Python :class:`~repro.spread.MonteCarloEngine`
+    (which already satisfies the protocol structurally) — the reference
+    implementation every other backend is tested against.
+``vectorized``
+    The numpy batch kernel of :mod:`repro.engine.kernels`.
+``parallel``
+    The multi-core executor of :mod:`repro.engine.parallel`.
+``pooled``
+    Reuses one persistent set of live-edge samples
+    (:mod:`repro.engine.pool`) across every query; ``rounds`` selects
+    how many pooled samples to evaluate.
+
+All backends estimate the same quantity ``E(S, G[V \\ blocked])``
+(Definition 3, seeds counted); they differ only in throughput and RNG
+stream, so fixed-seed results are reproducible per backend but not
+identical across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable, Sequence
+
+import numpy as np
+
+from ..graph import CSRGraph, DiGraph
+from ..rng import ensure_rng, RngLike
+from ..spread import MonteCarloEngine
+from .kernels import (
+    auto_batch_size,
+    batch_activation_counts,
+    batch_cascades,
+    batch_spread,
+    reach_counts_from_alive,
+)
+from .parallel import ParallelEvaluator
+from .pool import SamplePool
+
+__all__ = [
+    "SpreadEvaluator",
+    "ScalarEvaluator",
+    "VectorizedEvaluator",
+    "PooledEvaluator",
+    "BACKENDS",
+    "make_evaluator",
+]
+
+BACKENDS: tuple[str, ...] = ("scalar", "vectorized", "parallel", "pooled")
+
+
+@runtime_checkable
+class SpreadEvaluator(Protocol):
+    """Anything that can answer expected-spread queries on one graph."""
+
+    csr: CSRGraph
+
+    def expected_spread(
+        self,
+        seeds: Sequence[int],
+        rounds: int,
+        blocked: Iterable[int] = (),
+    ) -> float:
+        """Estimate of ``E(seeds, G[V \\ blocked])`` from ``rounds``
+        simulations (or pooled samples)."""
+        ...
+
+
+class ScalarEvaluator(MonteCarloEngine):
+    """The reference backend: the scalar Monte-Carlo engine, renamed.
+
+    Exists so ``make_evaluator(graph, "scalar")`` reads symmetrically
+    with the other backends; behaviour is exactly
+    :class:`~repro.spread.MonteCarloEngine`.
+    """
+
+    backend = "scalar"
+
+
+class VectorizedEvaluator:
+    """Spread evaluator backed by the numpy batch kernel."""
+
+    backend = "vectorized"
+
+    def __init__(
+        self,
+        graph: DiGraph | CSRGraph,
+        rng: RngLike = None,
+        batch_size: int | None = None,
+    ) -> None:
+        self.csr = graph if isinstance(graph, CSRGraph) else CSRGraph(graph)
+        self._gen = ensure_rng(rng)
+        self.batch_size = batch_size
+
+    def expected_spread(
+        self,
+        seeds: Sequence[int],
+        rounds: int,
+        blocked: Iterable[int] = (),
+    ) -> float:
+        return batch_spread(
+            self.csr, seeds, rounds, self._gen, blocked, self.batch_size
+        )
+
+    def spread_samples(
+        self,
+        seeds: Sequence[int],
+        rounds: int,
+        blocked: Iterable[int] = (),
+    ) -> np.ndarray:
+        """Per-round active counts (for confidence intervals)."""
+        return batch_cascades(
+            self.csr, seeds, rounds, self._gen, blocked, self.batch_size
+        )
+
+    def activation_frequencies(
+        self,
+        seeds: Sequence[int],
+        rounds: int,
+        blocked: Iterable[int] = (),
+    ) -> np.ndarray:
+        """Per-vertex activation frequency estimate of ``P_G(x, S)``."""
+        counts = batch_activation_counts(
+            self.csr, seeds, rounds, self._gen, blocked, self.batch_size
+        )
+        return counts / rounds
+
+
+class PooledEvaluator:
+    """Spread evaluator over a persistent live-edge sample pool.
+
+    ``rounds`` selects how many pooled samples the estimate averages
+    over; samples are drawn once and reused across queries (and across
+    processes when the pool is disk-backed), so repeated queries —
+    e.g. a greedy loop probing many blocked sets — pay traversal cost
+    only.  Estimates across queries share the pool's worlds: they are
+    *common random numbers*, which cancels between-query sampling
+    noise when comparing blocked sets.
+    """
+
+    backend = "pooled"
+
+    def __init__(
+        self,
+        graph: DiGraph | CSRGraph,
+        rng: RngLike = None,
+        pool: SamplePool | None = None,
+        cache_dir=None,
+        cache_key: str | None = None,
+        batch_size: int | None = None,
+    ) -> None:
+        if pool is not None:
+            self.pool = pool
+        else:
+            self.pool = SamplePool(
+                graph, rng, cache_dir=cache_dir, cache_key=cache_key
+            )
+        self.csr = self.pool.csr
+        self.batch_size = batch_size
+
+    def expected_spread(
+        self,
+        seeds: Sequence[int],
+        rounds: int,
+        blocked: Iterable[int] = (),
+    ) -> float:
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        batch = self.pool.get(rounds)
+        seed_list = list(seeds)
+        blocked_list = list(blocked)
+        step = auto_batch_size(max(self.csr.m, self.csr.n), self.batch_size)
+        total = 0
+        for lo in range(0, rounds, step):
+            hi = min(lo + step, rounds)
+            alive = batch.alive_matrix(lo, hi)
+            total += int(
+                reach_counts_from_alive(
+                    self.csr, seed_list, alive, blocked_list
+                ).sum()
+            )
+        return total / rounds
+
+
+def make_evaluator(
+    graph: DiGraph | CSRGraph,
+    backend: str = "scalar",
+    rng: RngLike = None,
+    workers: int | None = None,
+    batch_size: int | None = None,
+    cache_dir=None,
+    cache_key: str | None = None,
+    pool: SamplePool | None = None,
+) -> SpreadEvaluator:
+    """Construct a spread evaluator for ``graph`` by backend name.
+
+    Parameters
+    ----------
+    backend:
+        One of :data:`BACKENDS`.
+    workers:
+        Worker processes (``parallel`` backend only; default: all
+        cores).
+    batch_size:
+        Cascades simulated per numpy batch (vectorized family).
+    cache_dir / cache_key / pool:
+        Sample-pool persistence knobs (``pooled`` backend only).
+    """
+    name = backend.lower()
+    if name == "scalar":
+        return ScalarEvaluator(graph, rng)
+    if name == "vectorized":
+        return VectorizedEvaluator(graph, rng, batch_size=batch_size)
+    if name == "parallel":
+        return ParallelEvaluator(
+            graph, rng, workers=workers, batch_size=batch_size
+        )
+    if name == "pooled":
+        return PooledEvaluator(
+            graph,
+            rng,
+            pool=pool,
+            cache_dir=cache_dir,
+            cache_key=cache_key,
+            batch_size=batch_size,
+        )
+    raise ValueError(
+        f"unknown engine backend {backend!r}; expected one of "
+        + ", ".join(BACKENDS)
+    )

@@ -1,0 +1,167 @@
+"""Worker-pool executor: spread estimation across all cores.
+
+``expected_spread`` is embarrassingly parallel over simulation rounds.
+:class:`ParallelEvaluator` splits the requested rounds into one chunk
+per worker and runs the vectorized batch kernel in a persistent
+``multiprocessing`` pool:
+
+* the frozen CSR arrays are shipped **once** per worker via the pool
+  initializer (with the default ``fork`` start method they are shared
+  copy-on-write and never pickled per call);
+* every worker draws from its own ``numpy`` stream, derived with
+  ``SeedSequence`` spawning from the evaluator's root seed plus a
+  per-call counter — results are bit-reproducible for a fixed
+  ``(rng, workers)`` pair and call order, while workers never share a
+  stream (the classic parallel-RNG correctness trap);
+* ``workers=1`` (and any machine with a single core) short-circuits to
+  the in-process vectorized kernel, so the facade is safe to use
+  unconditionally.
+
+The pool is lazy: no processes are spawned until the first parallel
+query.  Use the evaluator as a context manager (or call
+:meth:`ParallelEvaluator.close`) to reap workers deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..graph import CSRGraph, DiGraph
+from ..rng import ensure_rng, RngLike
+from .kernels import batch_cascades
+
+__all__ = ["ParallelEvaluator", "default_workers", "split_rounds"]
+
+# per-process CSR rehydrated by the pool initializer
+_WORKER_CSR: CSRGraph | None = None
+
+
+def default_workers() -> int:
+    """Worker count saturating the machine (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def split_rounds(rounds: int, workers: int) -> list[int]:
+    """Near-even positive chunk sizes summing to ``rounds``."""
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    workers = max(1, min(workers, rounds))
+    base, extra = divmod(rounds, workers)
+    return [base + (1 if i < extra else 0) for i in range(workers)]
+
+
+def _init_worker(indptr, indices, probs) -> None:
+    global _WORKER_CSR
+    _WORKER_CSR = CSRGraph.from_arrays(indptr, indices, probs)
+
+
+def _run_chunk(task) -> int:
+    """Sum of active counts over one worker's chunk of rounds."""
+    seed_seq, rounds, seeds, blocked, batch_size = task
+    gen = np.random.default_rng(seed_seq)
+    counts = batch_cascades(
+        _WORKER_CSR, seeds, rounds, gen, blocked, batch_size
+    )
+    return int(counts.sum())
+
+
+class ParallelEvaluator:
+    """Multi-core Monte-Carlo spread evaluator over a frozen graph.
+
+    Satisfies the :class:`~repro.engine.evaluator.SpreadEvaluator`
+    protocol.  See the module docstring for the determinism contract.
+    """
+
+    backend = "parallel"
+
+    def __init__(
+        self,
+        graph: DiGraph | CSRGraph,
+        rng: RngLike = None,
+        workers: int | None = None,
+        batch_size: int | None = None,
+    ) -> None:
+        self.csr = graph if isinstance(graph, CSRGraph) else CSRGraph(graph)
+        self.workers = default_workers() if workers is None else workers
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.batch_size = batch_size
+        # one root seed drawn up front; per-call streams are spawned
+        # from (root, call_index) so repeated queries differ but a
+        # fresh evaluator with the same seed replays the sequence.
+        self._root = int(ensure_rng(rng).integers(2**63))
+        self._calls = 0
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # SpreadEvaluator surface
+    # ------------------------------------------------------------------
+    def expected_spread(
+        self,
+        seeds: Sequence[int],
+        rounds: int,
+        blocked: Iterable[int] = (),
+    ) -> float:
+        """Average active count over ``rounds`` cascades, all cores."""
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        seed_list = list(seeds)
+        blocked_list = list(blocked)
+        call = self._calls
+        self._calls += 1
+        chunks = split_rounds(rounds, self.workers)
+        streams = np.random.SeedSequence((self._root, call)).spawn(
+            len(chunks)
+        )
+        if len(chunks) == 1:
+            gen = np.random.default_rng(streams[0])
+            counts = batch_cascades(
+                self.csr, seed_list, rounds, gen, blocked_list,
+                self.batch_size,
+            )
+            return float(counts.sum()) / rounds
+        tasks = [
+            (stream, chunk, seed_list, blocked_list, self.batch_size)
+            for stream, chunk in zip(streams, chunks)
+        ]
+        totals = self._ensure_pool().map(_run_chunk, tasks)
+        return float(sum(totals)) / rounds
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.csr.indptr, self.csr.indices, self.csr.probs),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

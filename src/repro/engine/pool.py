@@ -1,0 +1,278 @@
+"""Persistent live-edge sample pool with cross-query reuse.
+
+AdvancedGreedy's key cost saving (Section V-C) is that one set of
+sampled graphs answers *every* candidate's decrease query in a round.
+:class:`SamplePool` generalises that trick across queries, algorithms
+and — optionally — processes:
+
+* samples (Definition 4's random sampled graphs) are materialised
+  **once** per graph, in a compact flat-array layout (``offsets`` +
+  surviving edge ``positions``, the same CSR idea one level up);
+* a request for ``theta`` samples is served from the pool's prefix when
+  enough samples exist (a *hit*) and triggers incremental generation of
+  only the shortfall otherwise (a *miss* grows the pool, it never
+  regenerates);
+* blocking is applied at traversal time by the consumer (see
+  :func:`~repro.engine.kernels.reach_counts_from_alive`), so the same
+  samples serve every blocked-set query;
+* with a ``cache_dir`` the arrays are persisted as ``.npy`` files keyed
+  by a fingerprint of the graph, probabilities and seed, and are loaded
+  back **memory-mapped** — a second process (or a later run) pays no
+  sampling cost and shares pages with its siblings.
+
+``SamplePool.stats`` exposes hit/miss/disk counters so benchmarks and
+services can observe cache effectiveness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..graph import CSRGraph, DiGraph
+from ..rng import ensure_rng, RngLike
+
+__all__ = ["SampleBatch", "SamplePool", "PoolStats"]
+
+# cap on the (chunk, m) coin matrix drawn per generation step
+_COIN_CELL_BUDGET = 8_000_000
+
+
+@dataclass
+class PoolStats:
+    """Observability counters for a :class:`SamplePool`."""
+
+    hits: int = 0
+    """Requests fully served from already-materialised samples."""
+    misses: int = 0
+    """Requests that forced generation of additional samples."""
+    generated: int = 0
+    """Total samples materialised by this process."""
+    disk_loads: int = 0
+    """Times a persisted pool was attached from ``cache_dir``."""
+    disk_saves: int = 0
+    """Times the pool was persisted to ``cache_dir``."""
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "generated": self.generated,
+            "disk_loads": self.disk_loads,
+            "disk_saves": self.disk_saves,
+        }
+
+
+@dataclass(frozen=True)
+class SampleBatch:
+    """``theta`` live-edge samples in a flat CSR-like layout.
+
+    Sample ``t`` survives exactly the edges (CSR positions)
+    ``positions[offsets[t]:offsets[t + 1]]``.
+    """
+
+    theta: int
+    offsets: np.ndarray
+    positions: np.ndarray
+    m: int
+    """Edge count of the graph the samples were drawn from."""
+
+    def surviving(self, t: int) -> np.ndarray:
+        """Surviving edge positions of sample ``t``."""
+        return self.positions[self.offsets[t]: self.offsets[t + 1]]
+
+    def alive_matrix(self, lo: int, hi: int) -> np.ndarray:
+        """Boolean ``(hi - lo, m)`` aliveness matrix of a sample slice.
+
+        Materialises only the requested window so callers can stream
+        the pool through :func:`reach_counts_from_alive` chunk by
+        chunk without ever holding ``theta * m`` bools.
+        """
+        if not 0 <= lo <= hi <= self.theta:
+            raise ValueError(f"bad sample window [{lo}, {hi})")
+        rows = np.repeat(
+            np.arange(hi - lo, dtype=np.int64),
+            np.diff(self.offsets[lo: hi + 1]),
+        )
+        alive = np.zeros((hi - lo, self.m), dtype=bool)
+        alive[rows, self.positions[self.offsets[lo]: self.offsets[hi]]] = True
+        return alive
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.offsets.nbytes + self.positions.nbytes)
+
+
+class SamplePool:
+    """Growing, optionally disk-backed pool of live-edge samples.
+
+    Parameters
+    ----------
+    graph:
+        Graph (or frozen CSR) whose live-edge distribution is sampled.
+    rng:
+        Seed / generator for the coin flips.  An **integer** seed also
+        keys the on-disk cache; with generator/fresh entropy the pool
+        is memory-only unless ``cache_key`` names the stream.
+    cache_dir:
+        Directory for persisted pools.  Created on demand.  Files are
+        ``pool-<fingerprint>.{offsets,positions}.npy`` and are loaded
+        memory-mapped.
+    cache_key:
+        Explicit stream identity for the disk fingerprint, for callers
+        that pass a live generator but still want persistence.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph | CSRGraph,
+        rng: RngLike = None,
+        cache_dir: str | Path | None = None,
+        cache_key: str | None = None,
+    ) -> None:
+        self.csr = graph if isinstance(graph, CSRGraph) else CSRGraph(graph)
+        # sample i is a pure function of (root, chunk layout): chunk k
+        # is drawn from SeedSequence((root, k)), so a pool attached
+        # from disk continues with fresh worlds — never replays the
+        # persisted prefix — and any two processes sharing a seed
+        # materialise identical pools regardless of growth history.
+        self._root = int(ensure_rng(rng).integers(2**63))
+        self._chunk = max(1, _COIN_CELL_BUDGET // max(self.csr.m, 1))
+        self.stats = PoolStats()
+        self._theta = 0
+        self._offsets = np.zeros(1, dtype=np.int64)
+        self._positions = np.zeros(0, dtype=np.int64)
+        if cache_key is None and isinstance(rng, int):
+            cache_key = f"seed{rng}"
+        self._cache_paths: tuple[Path, Path] | None = None
+        if cache_dir is not None and cache_key is not None:
+            digest = self._fingerprint(cache_key)
+            base = Path(cache_dir)
+            self._cache_paths = (
+                base / f"pool-{digest}.offsets.npy",
+                base / f"pool-{digest}.positions.npy",
+            )
+            self._try_attach()
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    @property
+    def theta(self) -> int:
+        """Number of samples currently materialised."""
+        return self._theta
+
+    def get(self, theta: int) -> SampleBatch:
+        """A batch of the pool's first ``theta`` samples.
+
+        Serving prefixes is what makes reuse sound: the first
+        ``theta`` samples are i.i.d. live-edge draws regardless of how
+        large the pool has grown since.
+        """
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        if theta <= self._theta:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            self._grow(theta - self._theta)
+            self._persist()
+        return SampleBatch(
+            theta=theta,
+            offsets=self._offsets[: theta + 1],
+            positions=self._positions[: self._offsets[theta]],
+            m=self.csr.m,
+        )
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    def _grow(self, extra: int) -> None:
+        m = self.csr.m
+        probs = self.csr.probs
+        chunk = self._chunk
+        target = self._theta + extra
+        chunks_pos: list[np.ndarray] = [self._positions]
+        chunks_counts: list[np.ndarray] = []
+        for k in range(self._theta // chunk, (target - 1) // chunk + 1):
+            # regenerate chunk k in full (cheap, bounded by one chunk)
+            # and keep only the sample window this growth step needs —
+            # the price of content that is independent of call history
+            lo = max(self._theta - k * chunk, 0)
+            hi = min(target - k * chunk, chunk)
+            if m:
+                gen = np.random.default_rng(
+                    np.random.SeedSequence((self._root, k))
+                )
+                coins = gen.random((chunk, m)) < probs
+                rows, pos = np.nonzero(coins)
+                counts = np.bincount(rows, minlength=chunk)
+                offsets = np.zeros(chunk + 1, dtype=np.int64)
+                np.cumsum(counts, out=offsets[1:])
+                chunks_pos.append(
+                    pos[offsets[lo]: offsets[hi]].astype(
+                        np.int64, copy=False
+                    )
+                )
+                chunks_counts.append(counts[lo:hi])
+            else:
+                chunks_counts.append(np.zeros(hi - lo, dtype=np.int64))
+        counts = np.concatenate(chunks_counts)
+        new_offsets = np.empty(self._theta + extra + 1, dtype=np.int64)
+        new_offsets[: self._theta + 1] = self._offsets
+        np.cumsum(counts, out=new_offsets[self._theta + 1:])
+        new_offsets[self._theta + 1:] += self._offsets[self._theta]
+        self._offsets = new_offsets
+        self._positions = np.concatenate(chunks_pos)
+        self._theta += extra
+        self.stats.generated += extra
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _fingerprint(self, cache_key: str) -> str:
+        csr = self.csr
+        digest = hashlib.sha256()
+        digest.update(f"{csr.n}:{csr.m}:{cache_key}".encode())
+        digest.update(np.ascontiguousarray(csr.indptr).tobytes())
+        digest.update(np.ascontiguousarray(csr.indices).tobytes())
+        digest.update(np.ascontiguousarray(csr.probs).tobytes())
+        return digest.hexdigest()[:16]
+
+    def _try_attach(self) -> None:
+        assert self._cache_paths is not None
+        off_path, pos_path = self._cache_paths
+        if not (off_path.is_file() and pos_path.is_file()):
+            return
+        try:
+            offsets = np.load(off_path, mmap_mode="r")
+            positions = np.load(pos_path, mmap_mode="r")
+        except (OSError, ValueError):  # corrupt/partial cache: ignore
+            return
+        if offsets.ndim != 1 or offsets.shape[0] < 1:
+            return
+        self._offsets = offsets
+        self._positions = positions
+        self._theta = offsets.shape[0] - 1
+        self.stats.disk_loads += 1
+
+    def _persist(self) -> None:
+        if self._cache_paths is None:
+            return
+        off_path, pos_path = self._cache_paths
+        off_path.parent.mkdir(parents=True, exist_ok=True)
+        # write-then-rename so concurrent readers never see a torn
+        # file; positions land first — old offsets over new positions
+        # is always a consistent prefix, the reverse is not
+        for path, array in (
+            (pos_path, self._positions),
+            (off_path, self._offsets),
+        ):
+            # the tmp name must keep the .npy suffix or np.save appends one
+            tmp = path.with_name(path.name[: -len(".npy")] + ".tmp.npy")
+            np.save(tmp, np.asarray(array))
+            tmp.replace(path)
+        self.stats.disk_saves += 1

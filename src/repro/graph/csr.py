@@ -44,6 +44,7 @@ class CSRGraph:
         "probs",
         "src",
         "__dict__",
+        "__weakref__",
     )
 
     def __init__(self, graph: DiGraph) -> None:
@@ -66,6 +67,33 @@ class CSRGraph:
         self.indices = indices
         self.probs = probs
         self.src = src
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        probs: np.ndarray,
+        src: np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Rebuild a CSR snapshot directly from its flat arrays.
+
+        Used to rehydrate graphs shipped across process boundaries
+        (the parallel spread engine) without round-tripping through a
+        ``DiGraph``.  Arrays are adopted, not copied.
+        """
+        self = cls.__new__(cls)
+        self.n = int(indptr.shape[0]) - 1
+        self.m = int(indices.shape[0])
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.probs = np.asarray(probs, dtype=np.float64)
+        if src is None:
+            src = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self.indptr)
+            )
+        self.src = np.asarray(src, dtype=np.int64)
+        return self
 
     # ------------------------------------------------------------------
     # plain-list mirrors: Python-level loops index lists substantially

@@ -6,7 +6,12 @@ from .exact import (
     exact_expected_spread,
     exact_spread_dag,
 )
-from .montecarlo import MonteCarloEngine, expected_spread_mcs, simulate_cascade
+from .montecarlo import (
+    MonteCarloEngine,
+    expected_spread_mcs,
+    shared_engine,
+    simulate_cascade,
+)
 from .temporal import (
     cascade_timeline,
     containment_report,
@@ -18,6 +23,7 @@ __all__ = [
     "MonteCarloEngine",
     "simulate_cascade",
     "expected_spread_mcs",
+    "shared_engine",
     "exact_activation_probabilities",
     "exact_expected_spread",
     "exact_spread_dag",

@@ -1,0 +1,6 @@
+"""Test suite package marker.
+
+Five modules import shared helpers with ``from .conftest import ...``;
+the package context this file provides is what makes those relative
+imports resolve under ``python -m pytest``.
+"""

@@ -93,3 +93,71 @@ class TestCommands:
             ]
         )
         assert code == 0
+
+
+class TestEngineFlag:
+    def test_engine_defaults_to_scalar(self):
+        args = build_parser().parse_args(["block"])
+        assert args.engine == "scalar"
+        assert args.workers is None
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["block", "--engine", "quantum"])
+
+    def test_workers_requires_parallel_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "spread", "--dataset", "email-core", "--scale", "0.06",
+                    "--seeds", "2", "--workers", "2",
+                ]
+            )
+        assert "--workers requires --engine parallel" in capsys.readouterr().out
+
+    def test_workers_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "spread", "--dataset", "email-core", "--scale", "0.06",
+                    "--seeds", "2", "--engine", "parallel", "--workers", "0",
+                ]
+            )
+        assert "--workers must be >= 1" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["vectorized", "pooled"])
+    def test_block_with_engine(self, capsys, engine):
+        code = main(
+            [
+                "block",
+                "--dataset", "email-core",
+                "--scale", "0.08",
+                "--budget", "2",
+                "--theta", "30",
+                "--seeds", "2",
+                "--algorithm", "gr",
+                "--rng", "1",
+                "--engine", engine,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "blockers=" in out
+        assert "expected spread" in out
+
+    def test_spread_with_engine(self, capsys):
+        code = main(
+            [
+                "spread",
+                "--dataset", "email-core",
+                "--scale", "0.08",
+                "--seeds", "2",
+                "--theta", "200",
+                "--rng", "1",
+                "--engine", "vectorized",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine=vectorized" in out
+        assert "expected spread" in out

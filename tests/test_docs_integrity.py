@@ -92,6 +92,7 @@ class TestPackageSurface:
             "repro.models",
             "repro.sampling",
             "repro.spread",
+            "repro.engine",
             "repro.core",
             "repro.theory",
             "repro.datasets",

@@ -1,0 +1,397 @@
+"""Tests for the spread-evaluation engine (``repro.engine``).
+
+Statistical parity: every backend estimates Definition 3's
+``E(S, G[V \\ blocked])``, so on the Figure 1 toy graph each must agree
+with the closed-form ``exact_expected_spread`` (7.66, Example 1) and
+with the scalar reference engine within Monte-Carlo tolerance.
+Determinism: fixed seeds (and, for the parallel backend, fixed worker
+counts) must reproduce results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import figure1_graph, figure1_seed
+from repro.engine import (
+    BACKENDS,
+    batch_activation_counts,
+    batch_cascades,
+    default_workers,
+    make_evaluator,
+    ParallelEvaluator,
+    PooledEvaluator,
+    ragged_arange,
+    SamplePool,
+    SpreadEvaluator,
+    split_rounds,
+    VectorizedEvaluator,
+)
+from repro.graph import CSRGraph, DiGraph
+from repro.spread import (
+    exact_expected_spread,
+    expected_spread_mcs,
+    MonteCarloEngine,
+    shared_engine,
+)
+
+EXACT = 7.66  # Example 1's expected spread of the Figure 1 graph
+ROUNDS = 4000
+TOL = 0.25  # ~5 standard errors at the toy graph's spread variance
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return figure1_graph()
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+class TestKernels:
+    def test_ragged_arange(self):
+        out = ragged_arange(np.array([2, 0, 3, 1]))
+        assert out.tolist() == [0, 1, 0, 1, 2, 0]
+        assert ragged_arange(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_batch_cascades_shape_and_range(self, toy):
+        counts = batch_cascades(toy, [figure1_seed], 100, rng=1)
+        assert counts.shape == (100,)
+        assert counts.min() >= 1  # the seed always counts
+        assert counts.max() <= toy.n
+
+    def test_small_batch_sizes_partition_rounds(self, toy):
+        # batch_size smaller than rounds exercises the chunk loop
+        counts = batch_cascades(toy, [figure1_seed], 37, rng=5,
+                                batch_size=8)
+        assert counts.shape == (37,)
+
+    def test_blocked_seed_rejected(self, toy):
+        with pytest.raises(ValueError):
+            batch_cascades(toy, [figure1_seed], 10, rng=0,
+                           blocked=[figure1_seed])
+
+    def test_rounds_must_be_positive(self, toy):
+        with pytest.raises(ValueError):
+            batch_cascades(toy, [figure1_seed], 0, rng=0)
+
+    def test_activation_counts_match_spread(self, toy):
+        rounds = 2000
+        counts = batch_activation_counts(toy, [figure1_seed], rounds, rng=3)
+        # summing per-vertex frequencies recovers the expected spread
+        assert counts[figure1_seed] == rounds
+        assert abs(counts.sum() / rounds - EXACT) < TOL
+
+    def test_deterministic_edge_probabilities(self):
+        # p=1 edges always fire, p=0 never: exact spread regardless of rng
+        graph = DiGraph.from_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 0.0)]
+        )
+        counts = batch_cascades(graph, [0], 50)
+        assert (counts == 3).all()
+
+
+# ----------------------------------------------------------------------
+# statistical parity across backends
+# ----------------------------------------------------------------------
+class TestParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_matches_exact_value(self, toy, backend):
+        evaluator = make_evaluator(toy, backend, rng=7, workers=2)
+        try:
+            estimate = evaluator.expected_spread([figure1_seed], ROUNDS)
+        finally:
+            close = getattr(evaluator, "close", None)
+            if close:
+                close()
+        assert estimate == pytest.approx(EXACT, abs=TOL)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_matches_exact_value_blocked(self, toy, backend):
+        blocked = [2]  # v3: on the toy graph's dominant path
+        expected = exact_expected_spread(
+            toy, [figure1_seed], blocked=blocked
+        )
+        evaluator = make_evaluator(toy, backend, rng=11, workers=2)
+        try:
+            estimate = evaluator.expected_spread(
+                [figure1_seed], ROUNDS, blocked
+            )
+        finally:
+            close = getattr(evaluator, "close", None)
+            if close:
+                close()
+        assert estimate == pytest.approx(expected, abs=TOL)
+
+    def test_backends_agree_with_scalar_reference(self, toy):
+        reference = MonteCarloEngine(toy, 5).expected_spread(
+            [figure1_seed], ROUNDS
+        )
+        vectorized = VectorizedEvaluator(toy, 5).expected_spread(
+            [figure1_seed], ROUNDS
+        )
+        assert vectorized == pytest.approx(reference, abs=2 * TOL)
+
+    def test_protocol_runtime_checkable(self, toy):
+        assert isinstance(MonteCarloEngine(toy), SpreadEvaluator)
+        assert isinstance(VectorizedEvaluator(toy), SpreadEvaluator)
+        assert isinstance(PooledEvaluator(toy), SpreadEvaluator)
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_vectorized_fixed_seed(self, toy):
+        a = VectorizedEvaluator(toy, 42).expected_spread([figure1_seed], 500)
+        b = VectorizedEvaluator(toy, 42).expected_spread([figure1_seed], 500)
+        assert a == b
+
+    def test_parallel_fixed_seed_and_workers(self, toy):
+        with ParallelEvaluator(toy, 42, workers=2) as a, \
+                ParallelEvaluator(toy, 42, workers=2) as b:
+            ra = a.expected_spread([figure1_seed], 64)
+            rb = b.expected_spread([figure1_seed], 64)
+        assert ra == rb
+
+    def test_parallel_per_call_streams_differ(self, toy):
+        with ParallelEvaluator(toy, 42, workers=2) as ev:
+            first = ev.expected_spread([figure1_seed], 256)
+            second = ev.expected_spread([figure1_seed], 256)
+        # independent streams per call: a repeat is a fresh estimate
+        assert first != second
+
+    def test_parallel_inline_matches_pool_path_structure(self, toy):
+        # workers=1 short-circuits in-process; same protocol semantics
+        with ParallelEvaluator(toy, 9, workers=1) as ev:
+            value = ev.expected_spread([figure1_seed], 200)
+        assert value == pytest.approx(EXACT, abs=4 * TOL)
+
+    def test_split_rounds(self):
+        assert split_rounds(10, 3) == [4, 3, 3]
+        assert split_rounds(2, 8) == [1, 1]
+        assert sum(split_rounds(1000, default_workers())) == 1000
+        with pytest.raises(ValueError):
+            split_rounds(0, 2)
+
+
+# ----------------------------------------------------------------------
+# the sample pool
+# ----------------------------------------------------------------------
+class TestSamplePool:
+    def test_prefix_reuse_and_stats(self, toy):
+        pool = SamplePool(toy, rng=3)
+        first = pool.get(100)
+        again = pool.get(60)
+        grown = pool.get(150)
+        assert pool.stats.hits == 1 and pool.stats.misses == 2
+        assert pool.stats.generated == 150
+        # prefix property: the first 60 samples are shared verbatim
+        assert np.array_equal(again.offsets, first.offsets[:61])
+        assert np.array_equal(
+            grown.positions[: first.offsets[100]], first.positions
+        )
+
+    def test_sample_layout_consistent(self, toy):
+        pool = SamplePool(toy, rng=1)
+        batch = pool.get(50)
+        assert batch.offsets[0] == 0
+        assert batch.offsets[-1] == batch.positions.shape[0]
+        alive = batch.alive_matrix(0, 50)
+        assert alive.shape == (50, toy.m)
+        assert alive.sum() == batch.positions.shape[0]
+        # row t marks exactly sample t's surviving edges
+        t = 17
+        assert np.array_equal(np.flatnonzero(alive[t]),
+                              np.sort(batch.surviving(t)))
+
+    def test_disk_cache_roundtrip(self, toy, tmp_path):
+        pool = SamplePool(toy, rng=5, cache_dir=tmp_path)
+        batch = pool.get(80)
+        assert pool.stats.disk_saves == 1
+
+        # a second pool (fresh process in spirit) attaches mmapped
+        reloaded = SamplePool(toy, rng=5, cache_dir=tmp_path)
+        assert reloaded.stats.disk_loads == 1
+        assert reloaded.theta == 80
+        batch2 = reloaded.get(80)
+        assert reloaded.stats.hits == 1 and reloaded.stats.misses == 0
+        assert np.array_equal(np.asarray(batch2.offsets),
+                              np.asarray(batch.offsets))
+        assert np.array_equal(np.asarray(batch2.positions),
+                              np.asarray(batch.positions))
+
+    def test_disk_cache_disabled_without_seed_identity(self, toy, tmp_path):
+        import numpy.random as npr
+
+        pool = SamplePool(toy, rng=npr.default_rng(3), cache_dir=tmp_path)
+        pool.get(10)
+        assert pool.stats.disk_saves == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_pooled_evaluator_common_random_numbers(self, toy):
+        evaluator = PooledEvaluator(toy, rng=2)
+        a = evaluator.expected_spread([figure1_seed], 300)
+        b = evaluator.expected_spread([figure1_seed], 300)
+        assert a == b  # identical worlds, identical estimate
+
+    def test_growth_history_independent(self, toy):
+        # sample i is a pure function of the seed: growing in one step
+        # or in many yields bit-identical pools
+        one_shot = SamplePool(toy, rng=9).get(120)
+        stepwise_pool = SamplePool(toy, rng=9)
+        for theta in (30, 70, 120):
+            stepwise = stepwise_pool.get(theta)
+        assert np.array_equal(stepwise.offsets, one_shot.offsets)
+        assert np.array_equal(stepwise.positions, one_shot.positions)
+
+    def test_attached_pool_grows_with_fresh_worlds(self, toy, tmp_path):
+        # regression: continuing a disk-attached pool must not replay
+        # the persisted prefix as "new" samples
+        SamplePool(toy, rng=5, cache_dir=tmp_path).get(50)
+        attached = SamplePool(toy, rng=5, cache_dir=tmp_path)
+        grown = attached.get(100)
+        fresh = SamplePool(toy, rng=5).get(100)
+        assert np.array_equal(np.asarray(grown.offsets),
+                              np.asarray(fresh.offsets))
+        assert np.array_equal(np.asarray(grown.positions),
+                              np.asarray(fresh.positions))
+
+
+# ----------------------------------------------------------------------
+# dependency injection into algorithms and harness
+# ----------------------------------------------------------------------
+class TestInjection:
+    def test_baseline_greedy_default_unchanged(self, toy):
+        from repro.core import baseline_greedy
+
+        explicit = baseline_greedy(toy, [figure1_seed], 1, rounds=300, rng=9)
+        again = baseline_greedy(toy, [figure1_seed], 1, rounds=300, rng=9)
+        assert explicit.blockers == again.blockers
+        assert explicit.estimated_spread == again.estimated_spread
+
+    def test_baseline_greedy_with_vectorized_evaluator(self, toy):
+        from repro.core import baseline_greedy
+
+        evaluator = VectorizedEvaluator(toy, 9)
+        result = baseline_greedy(
+            toy, [figure1_seed], 1, rounds=600, evaluator=evaluator
+        )
+        assert len(result.blockers) == 1
+        assert figure1_seed not in result.blockers
+        assert result.estimated_spread < EXACT  # blocking helps
+
+    def test_solve_imin_accepts_evaluator(self, toy):
+        from repro.core import solve_imin
+
+        evaluator = VectorizedEvaluator(toy, 4)
+        result = solve_imin(
+            toy, [figure1_seed], 2, algorithm="advanced-greedy",
+            theta=400, rng=4, evaluator=evaluator,
+        )
+        assert len(result.blockers) <= 2
+        assert result.estimated_spread == pytest.approx(
+            exact_expected_spread(
+                toy, [figure1_seed], blocked=result.blockers
+            ),
+            abs=3 * TOL,
+        )
+
+    def test_evaluate_spread_accepts_evaluator(self, toy):
+        from repro.bench import evaluate_spread
+
+        evaluator = VectorizedEvaluator(toy, 8)
+        value = evaluate_spread(
+            toy, [figure1_seed], [], rounds=ROUNDS, evaluator=evaluator
+        )
+        assert value == pytest.approx(EXACT, abs=TOL)
+
+    def test_greedy_replace_evaluator_reestimates(self, toy):
+        from repro.core import greedy_replace
+
+        evaluator = VectorizedEvaluator(toy, 12)
+        result = greedy_replace(
+            toy, [figure1_seed], 2, theta=400, rng=12, evaluator=evaluator
+        )
+        assert result.estimated_spread == pytest.approx(
+            exact_expected_spread(
+                toy, [figure1_seed], blocked=result.blockers
+            ),
+            abs=3 * TOL,
+        )
+
+
+# ----------------------------------------------------------------------
+# the shared-engine cache behind the convenience wrappers
+# ----------------------------------------------------------------------
+class TestSharedEngine:
+    def test_fixed_seed_matches_fresh_engine(self, toy):
+        cached = expected_spread_mcs(toy, [figure1_seed], 300, rng=21)
+        fresh = MonteCarloEngine(toy, 21).expected_spread(
+            [figure1_seed], 300
+        )
+        assert cached == fresh
+
+    def test_engine_object_reused(self, toy):
+        first = shared_engine(toy, 1)
+        second = shared_engine(toy, 2)
+        assert first is second
+
+    def test_csr_input_never_cached(self, toy):
+        # a cached engine strongly references its own CSR key, which
+        # would pin a weak entry forever — so CSR inputs bypass caching
+        csr = CSRGraph(toy)
+        assert shared_engine(csr, 1) is not shared_engine(csr, 1)
+
+    def test_csr_input_stays_collectable(self, toy):
+        import gc
+        import weakref
+
+        csr = CSRGraph(toy)
+        shared_engine(csr, 1)
+        ref = weakref.ref(csr)
+        del csr
+        gc.collect()
+        assert ref() is None
+
+    def test_mutated_graph_invalidated(self):
+        graph = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        engine = shared_engine(graph, 1)
+        graph.add_edge(1, 2, 1.0)
+        assert shared_engine(graph, 1) is not engine
+        assert expected_spread_mcs(graph, [0], 10, rng=0) == 3.0
+
+    def test_probability_reassignment_invalidated(self):
+        # in-place probability edits keep n and m unchanged; the
+        # version counter must still invalidate the cached engine
+        graph = DiGraph.from_edges(2, [(0, 1, 1.0)])
+        assert expected_spread_mcs(graph, [0], 10, rng=0) == 2.0
+        graph.add_edge(0, 1, 0.0)  # re-add: replaces the probability
+        assert expected_spread_mcs(graph, [0], 10, rng=0) == 1.0
+
+
+# ----------------------------------------------------------------------
+# factory surface
+# ----------------------------------------------------------------------
+class TestFactory:
+    def test_unknown_backend_rejected(self, toy):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            make_evaluator(toy, "quantum")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_factory_builds_protocol_instances(self, toy, backend):
+        evaluator = make_evaluator(toy, backend, rng=0, workers=1)
+        assert isinstance(evaluator, SpreadEvaluator)
+        assert evaluator.csr.n == toy.n
+
+
+class TestVersionedInvalidation:
+    def test_add_vertex_invalidates_shared_engine(self):
+        from repro.spread import simulate_cascade
+
+        graph = DiGraph.from_edges(3, [(0, 1, 1.0)])
+        simulate_cascade(graph, [0], rng=1)  # caches an n=3 engine
+        w = graph.add_vertex()
+        # regression: a stale cached engine raised IndexError here
+        assert simulate_cascade(graph, [w], rng=1) == 1
