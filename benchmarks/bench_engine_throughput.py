@@ -1,11 +1,20 @@
-"""Engine throughput: scalar vs vectorized vs parallel vs pooled.
+"""Engine throughput: scalar vs vectorized vs parallel vs pooled vs sketch.
 
 The acceptance bar for ``repro.engine``: on a synthetic graph with
 >= 10k vertices at 1000 evaluation rounds, the vectorized backend must
 beat the scalar ``MonteCarloEngine`` by >= 5x, with the parallel
 backend scaling further with worker count (visible on multi-core
 hosts; on a single core it degenerates to the vectorized kernel plus
-process overhead).
+process overhead).  The sketch backend is timed cold (index build —
+one dominator tree per sample) and warm (cached-index queries, where
+its per-round cost collapses to an array read).
+
+``--json PATH`` additionally writes a machine-readable report
+(``BENCH_engine.json``): per backend the measured ms/round and the
+*normalized throughput* (speedup vs the scalar reference measured in
+the same run).  CI gates on the normalized number — it cancels
+machine-speed differences between the committed baseline and the
+runner — via ``benchmarks/check_bench_regression.py``.
 
 Run standalone (CI smoke uses tiny sizes)::
 
@@ -18,6 +27,7 @@ or through pytest-benchmark like the other reproduction benchmarks.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -34,6 +44,7 @@ except ImportError:  # pragma: no cover - script mode
         print(text)
 
 RESULT_FILE = "engine_throughput"
+JSON_SCHEMA = 1
 
 
 def build_graph(n: int, attach: int, rng: int):
@@ -49,58 +60,127 @@ def run_throughput(
     rng: int = 7,
     workers: tuple[int, ...] = (),
     scalar_rounds: int | None = None,
-) -> list[list[object]]:
-    """Time every backend; returns table rows.
+    sketch_rounds: int | None = None,
+    repeats: int = 3,
+) -> list[dict[str, object]]:
+    """Time every backend; returns one record per (backend, phase).
 
     ``scalar_rounds`` caps the scalar reference's measured rounds (its
     per-round cost is constant, so the per-round time extrapolates);
-    the accelerated backends always run the full ``rounds``.
+    ``sketch_rounds`` does the same for the sketch index, whose cold
+    cost is one dominator tree per sample and therefore also linear in
+    the measured rounds.  The accelerated Monte-Carlo backends always
+    run the full ``rounds``.
+
+    Every number is the best of ``repeats`` timings (cold phases get a
+    fresh evaluator per repeat) — the min filters scheduler noise,
+    which matters because CI gates on the reported ratios.
     """
     graph = build_graph(n, attach, rng)
     seeds = pick_seeds(graph, num_seeds, rng=rng)
     if not workers:
         workers = (default_workers(),)
 
-    rows: list[list[object]] = []
+    records: list[dict[str, object]] = []
+
+    def best_of(run, measure: int) -> tuple[float, float]:
+        """Min per-round seconds (and last estimate) over repeats."""
+        per, est = float("inf"), 0.0
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            est = run()
+            per = min(per, (time.perf_counter() - start) / measure)
+        return per, est
+
+    def close(evaluator) -> None:
+        fn = getattr(evaluator, "close", None)
+        if fn is not None:
+            fn()
 
     measured = min(rounds, scalar_rounds or rounds)
     engine = MonteCarloEngine(graph, rng)
-    start = time.perf_counter()
-    spread = engine.expected_spread(seeds, measured)
-    per_round = (time.perf_counter() - start) / measured
-    scalar_per_round = per_round
-    rows.append(
-        ["scalar", measured, round(spread, 2),
-         round(per_round * 1e3, 4), "1.0x"]
+    scalar_per_round, spread = best_of(
+        lambda: engine.expected_spread(seeds, measured), measured
+    )
+    records.append(
+        {
+            "backend": "scalar",
+            "rounds": measured,
+            "spread": spread,
+            "ms_per_round": scalar_per_round * 1e3,
+            "speedup_vs_scalar": 1.0,
+        }
     )
 
-    def time_backend(label: str, evaluator) -> None:
-        evaluator.expected_spread(seeds, min(rounds, 16))  # warm-up
-        start = time.perf_counter()
-        est = evaluator.expected_spread(seeds, rounds)
-        per = (time.perf_counter() - start) / rounds
-        rows.append(
-            [label, rounds, round(est, 2), round(per * 1e3, 4),
-             f"{scalar_per_round / per:.1f}x"]
+    def record(label: str, measure: int, per: float, est: float) -> None:
+        records.append(
+            {
+                "backend": label,
+                "rounds": measure,
+                "spread": est,
+                "ms_per_round": per * 1e3,
+                "speedup_vs_scalar": scalar_per_round / per,
+            }
         )
-        close = getattr(evaluator, "close", None)
-        if close is not None:
-            close()
 
-    time_backend("vectorized", make_evaluator(graph, "vectorized", rng=rng))
+    def time_warmable(label: str, evaluator, measure: int = rounds) -> None:
+        evaluator.expected_spread(seeds, min(measure, 16))  # warm-up
+        per, est = best_of(
+            lambda: evaluator.expected_spread(seeds, measure), measure
+        )
+        record(label, measure, per, est)
+
+    vectorized = make_evaluator(graph, "vectorized", rng=rng)
+    time_warmable("vectorized", vectorized)
+    close(vectorized)
     for w in workers:
-        time_backend(
-            f"parallel[w={w}]",
-            make_evaluator(graph, "parallel", rng=rng, workers=w),
+        parallel = make_evaluator(graph, "parallel", rng=rng, workers=w)
+        time_warmable(f"parallel[w={w}]", parallel)
+        close(parallel)
+
+    def time_cold_warm(
+        backend: str, measure: int, query_rounds: int
+    ) -> None:
+        """Cold = build + first query on a fresh evaluator (each
+        repeat pays the build); warm = repeat queries on the last."""
+        per_cold, est, evaluator = float("inf"), 0.0, None
+        for _ in range(max(1, repeats)):
+            if evaluator is not None:
+                close(evaluator)
+            evaluator = make_evaluator(graph, backend, rng=rng)
+            start = time.perf_counter()
+            est = evaluator.expected_spread(seeds, query_rounds)
+            per_cold = min(
+                per_cold, (time.perf_counter() - start) / query_rounds
+            )
+        record(f"{backend} (cold)", query_rounds, per_cold, est)
+        per_warm, est = best_of(
+            lambda: evaluator.expected_spread(seeds, query_rounds),
+            query_rounds,
         )
-    pooled = make_evaluator(graph, "pooled", rng=rng)
-    time_backend("pooled (cold)", pooled)
-    time_backend("pooled (warm)", pooled)  # samples already materialised
+        record(f"{backend} (warm)", query_rounds, per_warm, est)
+        close(evaluator)
 
-    return rows
+    time_cold_warm("pooled", rounds, rounds)
+    # the sketch index builds one dominator tree per sample (cold) and
+    # then answers repeated queries from the cached trees (warm)
+    sketch_measured = min(rounds, sketch_rounds or min(rounds, 200))
+    time_cold_warm("sketch", sketch_measured, sketch_measured)
+
+    return records
 
 
-def render(rows: list[list[object]], n: int, rounds: int) -> str:
+def render(records: list[dict[str, object]], n: int, rounds: int) -> str:
+    rows = [
+        [
+            r["backend"],
+            r["rounds"],
+            round(float(r["spread"]), 2),
+            f"{float(r['ms_per_round']):.4g}",
+            f"{float(r['speedup_vs_scalar']):.1f}x",
+        ]
+        for r in records
+    ]
     return format_table(
         ["backend", "rounds", "spread", "ms/round", "speedup"],
         rows,
@@ -111,15 +191,39 @@ def render(rows: list[list[object]], n: int, rounds: int) -> str:
     )
 
 
+def to_json(
+    records: list[dict[str, object]], params: dict[str, object]
+) -> dict[str, object]:
+    """The ``BENCH_engine.json`` document (see module docstring)."""
+    return {
+        "schema": JSON_SCHEMA,
+        "params": params,
+        "backends": {
+            str(r["backend"]): {
+                "rounds": r["rounds"],
+                "ms_per_round": round(float(r["ms_per_round"]), 6),
+                "speedup_vs_scalar": round(
+                    float(r["speedup_vs_scalar"]), 4
+                ),
+                # the warm sketch query is O(1) — a cached-array read —
+                # so its single-query timing is clock noise; report it
+                # but exempt it from the CI regression gate
+                "gate": str(r["backend"]) != "sketch (warm)",
+            }
+            for r in records
+        },
+    }
+
+
 def test_engine_throughput(benchmark):
     """pytest-benchmark entry, scaled for suite runtime."""
     n, rounds = 10_000, 1000
-    rows = benchmark.pedantic(
+    records = benchmark.pedantic(
         lambda: run_throughput(n=n, rounds=rounds, scalar_rounds=200),
         rounds=1,
         iterations=1,
     )
-    emit(RESULT_FILE, render(rows, n, rounds))
+    emit(RESULT_FILE, render(records, n, rounds))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -142,8 +246,30 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="cap the scalar reference's measured rounds (extrapolated)",
     )
+    parser.add_argument(
+        "--sketch-rounds",
+        type=int,
+        default=None,
+        help=(
+            "cap the sketch index's measured rounds (extrapolated; "
+            "default min(rounds, 200))"
+        ),
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timings per backend; the best is reported (default: 3)",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable BENCH_engine.json report",
+    )
     args = parser.parse_args(argv)
-    rows = run_throughput(
+    records = run_throughput(
         n=args.n,
         attach=args.attach,
         rounds=args.rounds,
@@ -151,8 +277,26 @@ def main(argv: list[str] | None = None) -> int:
         rng=args.rng,
         workers=tuple(args.workers),
         scalar_rounds=args.scalar_rounds,
+        sketch_rounds=args.sketch_rounds,
+        repeats=args.repeats,
     )
-    emit(RESULT_FILE, render(rows, args.n, args.rounds))
+    emit(RESULT_FILE, render(records, args.n, args.rounds))
+    if args.json is not None:
+        params = {
+            "n": args.n,
+            "attach": args.attach,
+            "rounds": args.rounds,
+            "seeds": args.seeds,
+            "rng": args.rng,
+            "workers": list(args.workers),
+            "scalar_rounds": args.scalar_rounds,
+            "sketch_rounds": args.sketch_rounds,
+            "repeats": args.repeats,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(to_json(records, params), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

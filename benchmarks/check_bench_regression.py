@@ -1,0 +1,150 @@
+"""CI benchmark-regression gate over ``BENCH_engine.json``.
+
+Compares a freshly measured engine-throughput report (written by
+``bench_engine_throughput.py --json``) against the committed baseline
+and fails when any backend regressed by more than the tolerance.
+
+The gated metric is ``speedup_vs_scalar`` — each backend's throughput
+normalized by the scalar reference *measured in the same run*.  Raw
+ms/round numbers differ wildly between the machine that committed the
+baseline and the CI runner; the normalized ratio cancels machine speed
+and isolates genuine engine regressions (a kernel slowdown, a cache
+that stopped hitting, an accidental O(n) in the hot path).
+
+Exit codes: 0 pass, 1 regression, 2 unusable input (missing file,
+parameter mismatch between the runs).
+
+Usage::
+
+    python benchmarks/bench_engine_throughput.py --n 2000 --rounds 200 \\
+        --workers 2 --json BENCH_engine.json
+    python benchmarks/check_bench_regression.py BENCH_engine.json \\
+        --baseline benchmarks/BENCH_engine.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# parameters that must match for the two reports to be comparable —
+# including the extrapolation caps and repeat count, which change the
+# measured statistic (per-round noise floor) even at identical sizes
+_IDENTITY_PARAMS = (
+    "n",
+    "attach",
+    "rounds",
+    "seeds",
+    "rng",
+    "workers",
+    "scalar_rounds",
+    "sketch_rounds",
+    "repeats",
+)
+
+
+def _die(message: str) -> None:
+    print(message, file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load_report(path: str | Path) -> dict:
+    path = Path(path)
+    if not path.is_file():
+        _die(f"error: no such report: {path}")
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if "backends" not in report:
+        _die(f"error: {path} is not a BENCH_engine.json report")
+    return report
+
+
+def compare(
+    current: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Returns ``(failures, lines)`` — regressions and the full log."""
+    failures: list[str] = []
+    lines: list[str] = []
+
+    cur_params = current.get("params", {})
+    base_params = baseline.get("params", {})
+    mismatched = [
+        key
+        for key in _IDENTITY_PARAMS
+        if cur_params.get(key) != base_params.get(key)
+    ]
+    if mismatched:
+        _die(
+            "error: reports are not comparable — parameter mismatch on "
+            + ", ".join(
+                f"{k} ({base_params.get(k)!r} -> {cur_params.get(k)!r})"
+                for k in mismatched
+            )
+        )
+
+    base_backends = baseline["backends"]
+    cur_backends = current["backends"]
+    for name, base in sorted(base_backends.items()):
+        if name == "scalar":
+            continue  # the normalization reference, 1.0 by construction
+        if not base.get("gate", True):
+            lines.append(f"note {name}: gate-exempt in baseline")
+            continue
+        entry = cur_backends.get(name)
+        if entry is None:
+            failures.append(name)
+            lines.append(f"FAIL {name}: missing from the current report")
+            continue
+        base_speed = float(base["speedup_vs_scalar"])
+        cur_speed = float(entry["speedup_vs_scalar"])
+        floor = (1.0 - tolerance) * base_speed
+        verdict = "ok" if cur_speed >= floor else "FAIL"
+        lines.append(
+            f"{verdict:<5}{name:<18} baseline {base_speed:7.2f}x  "
+            f"current {cur_speed:7.2f}x  floor {floor:7.2f}x"
+        )
+        if cur_speed < floor:
+            failures.append(name)
+    for name in sorted(set(cur_backends) - set(base_backends)):
+        lines.append(f"note {name}: not in baseline (no gate)")
+    return failures, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly measured BENCH_engine.json")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_engine.json",
+        help="committed baseline report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help=(
+            "allowed fractional drop in normalized throughput before "
+            "the gate fails (default: %(default)s)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    current = load_report(args.current)
+    baseline = load_report(args.baseline)
+    failures, lines = compare(current, baseline, args.tolerance)
+    print(
+        f"benchmark-regression gate (tolerance "
+        f"{args.tolerance:.0%} on speedup vs scalar)"
+    )
+    for line in lines:
+        print(" ", line)
+    if failures:
+        print(f"regressed backends: {', '.join(failures)}")
+        return 1
+    print("all backends within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,8 +32,10 @@ Package map
     The production spread-evaluation engine: vectorized batch
     kernels, a persistent (optionally disk-backed) live-edge sample
     pool, a multi-core executor with deterministic per-worker RNG
-    streams, and the pluggable ``SpreadEvaluator`` protocol the
-    algorithms and benchmarks accept.
+    streams, the dominator-tree sketch index (the paper's estimator
+    as a persistent backend with O(1) marginal gains), and the
+    pluggable ``SpreadEvaluator`` protocol the algorithms and
+    benchmarks accept.
 ``repro.sampling``
     Live-edge sampled graphs, reachability statistics, Theorem 5
     sample-size bounds.
@@ -73,6 +75,7 @@ from .engine import (
     make_evaluator,
     ParallelEvaluator,
     SamplePool,
+    SketchIndex,
     SpreadEvaluator,
     VectorizedEvaluator,
 )
@@ -120,6 +123,7 @@ __all__ = [
     "VectorizedEvaluator",
     "ParallelEvaluator",
     "SamplePool",
+    "SketchIndex",
     "exact_expected_spread",
     "exact_activation_probabilities",
     "estimate_spread_sampled",

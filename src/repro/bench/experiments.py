@@ -113,6 +113,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "scalar vs vectorized vs parallel vs pooled spread oracle",
             "bench_engine_throughput.py",
         ),
+        Experiment(
+            "sketch-vs-mc", "§V-B/C",
+            "dominator-tree sketch index vs vectorized Monte Carlo",
+            "bench_sketch_vs_mc.py",
+        ),
     )
 }
 

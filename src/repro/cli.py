@@ -29,7 +29,7 @@ from .bench import evaluate_spread, pick_seeds, prepare_graph
 from .core import ALGORITHMS, solve_imin
 from .datasets import DATASETS, load_dataset
 from .engine import BACKENDS, make_evaluator
-from .sampling import estimate_spread_sampled
+from .sampling import estimate_spread_sampled, resolve_theta
 
 __all__ = ["main", "build_parser"]
 
@@ -60,8 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     block.add_argument(
         "--theta",
         type=int,
-        default=200,
-        help="sampled graphs per round for ag/gr",
+        default=None,
+        help=(
+            "sampled graphs per round for ag/gr (default 200; "
+            "alternatively derive it from --eps/--ell)"
+        ),
     )
     block.add_argument(
         "--mcs-rounds",
@@ -73,7 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     spread = sub.add_parser("spread", help="estimate expected spread")
     _common_args(spread)
     spread.add_argument(
-        "--theta", type=int, default=2000, help="sampled graphs"
+        "--theta",
+        type=int,
+        default=None,
+        help=(
+            "sampled graphs (default 2000; alternatively derive it "
+            "from --eps/--ell)"
+        ),
     )
     spread.add_argument(
         "--block",
@@ -128,6 +137,31 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
         default=None,
         help="worker processes for --engine parallel (default: all cores)",
     )
+    sub.add_argument(
+        "--eps",
+        type=float,
+        default=None,
+        help=(
+            "Theorem-5 relative estimation error; derives theta via "
+            "required_samples (mutually exclusive with --theta)"
+        ),
+    )
+    sub.add_argument(
+        "--ell",
+        type=float,
+        default=1.0,
+        help=(
+            "Theorem-5 confidence exponent l (success probability "
+            "1 - n^-l; only meaningful with --eps)"
+        ),
+    )
+    sub.add_argument(
+        "--max-theta",
+        type=int,
+        default=None,
+        help="cap on the theta derived from --eps (the bound is "
+        "conservative; Figure 5 shows quality is flat in theta)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -162,6 +196,27 @@ def _load(args) -> tuple:
     graph = prepare_graph(graph, args.model, rng=args.rng)
     seeds = pick_seeds(graph, args.seeds, rng=args.rng)
     return graph, seeds
+
+
+def _resolve_theta(args, graph, default: int) -> int:
+    """``--theta``/``--eps``/``--ell`` -> a concrete sample count.
+
+    Mapped through :func:`repro.sampling.resolve_theta` (Theorem 5);
+    prints the derived value so runs are reproducible from the log.
+    """
+    if args.eps is not None and args.theta is not None:
+        print("error: pass either --theta or --eps, not both")
+        raise SystemExit(2)
+    if args.eps is None:
+        return args.theta if args.theta is not None else default
+    theta = resolve_theta(
+        graph.n, epsilon=args.eps, ell=args.ell, max_theta=args.max_theta
+    )
+    print(
+        f"theta={theta} from Theorem 5 "
+        f"(eps={args.eps}, ell={args.ell}, n={graph.n})"
+    )
+    return theta
 
 
 _SHORT_NAMES = {
@@ -205,6 +260,7 @@ def _cmd_block(args) -> int:
         f"model={args.model} seeds={seeds}"
     )
     algorithm = _SHORT_NAMES.get(args.algorithm, args.algorithm)
+    theta = _resolve_theta(args, graph, default=200)
     selector = _make_engine(args, graph, stream=0)
     start = time.perf_counter()
     blockers = solve_imin(
@@ -212,7 +268,7 @@ def _cmd_block(args) -> int:
         seeds,
         args.budget,
         algorithm=algorithm,
-        theta=args.theta,
+        theta=theta,
         mcs_rounds=args.mcs_rounds,
         rng=args.rng,
         evaluator=selector,
@@ -249,19 +305,20 @@ def _cmd_spread(args) -> int:
         f"dataset={args.dataset} n={graph.n} m={graph.m} "
         f"model={args.model} seeds={seeds} blocked={blocked}"
     )
+    theta = _resolve_theta(args, graph, default=2000)
     evaluator = _make_engine(args, graph)
     if evaluator is not None:
-        mean = evaluator.expected_spread(seeds, args.theta, blocked)
+        mean = evaluator.expected_spread(seeds, theta, blocked)
         close = getattr(evaluator, "close", None)
         if close is not None:
             close()
         print(
             f"expected spread = {mean:.3f} "
-            f"(engine={args.engine}, rounds={args.theta})"
+            f"(engine={args.engine}, rounds={theta})"
         )
         return 0
     estimate = estimate_spread_sampled(
-        graph, seeds, theta=args.theta, rng=args.rng, blocked=blocked
+        graph, seeds, theta=theta, rng=args.rng, blocked=blocked
     )
     low, high = estimate.confidence_interval()
     print(

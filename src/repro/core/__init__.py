@@ -1,6 +1,11 @@
 """The IMIN problem and its solution algorithms."""
 
-from .advanced_greedy import advanced_greedy, BlockingResult, SamplerFactory
+from .advanced_greedy import (
+    advanced_greedy,
+    BlockingResult,
+    lazy_blocking,
+    SamplerFactory,
+)
 from .baseline_greedy import baseline_greedy, BaselineGreedyResult
 from .decrease import decrease_es_computation, DecreaseResult
 from .edge_blocking import (
@@ -18,6 +23,7 @@ from .heuristics import (
     pagerank_blockers,
     random_blockers,
 )
+from .lazy import celf_select, LazySelection, make_gain_fn
 from .problem import IMINInstance, unify_seeds, UnifiedProblem
 from .solve import ALGORITHMS, solve_imin, SolveResult
 from .static_greedy import static_sample_greedy
@@ -31,6 +37,10 @@ __all__ = [
     "DecreaseResult",
     "advanced_greedy",
     "greedy_replace",
+    "lazy_blocking",
+    "celf_select",
+    "LazySelection",
+    "make_gain_fn",
     "BlockingResult",
     "SamplerFactory",
     "baseline_greedy",

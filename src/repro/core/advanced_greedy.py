@@ -17,12 +17,18 @@ from ..graph import DiGraph
 from ..rng import ensure_rng, RngLike
 from ..sampling import EdgeSampler, ICSampler
 from .decrease import decrease_es_computation
+from .lazy import celf_select, make_gain_fn, resolve_lazy
 from .problem import unify_seeds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from ..engine import SpreadEvaluator
 
-__all__ = ["BlockingResult", "advanced_greedy", "SamplerFactory"]
+__all__ = [
+    "BlockingResult",
+    "advanced_greedy",
+    "lazy_blocking",
+    "SamplerFactory",
+]
 
 SamplerFactory = Callable[[DiGraph, RngLike], EdgeSampler]
 
@@ -51,6 +57,58 @@ class BlockingResult:
     round_deltas: list[float]
 
 
+def lazy_blocking(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    budget: int,
+    theta: int,
+    evaluator: "SpreadEvaluator",
+    candidates: Sequence[int] | None = None,
+    stop_when_exhausted: bool = True,
+) -> BlockingResult:
+    """Greedy blocking driven by an evaluator through CELF.
+
+    The lazy counterpart of the AG/SG selection loop: marginal gains
+    come from :func:`repro.core.lazy.make_gain_fn` over ``evaluator``
+    (O(1) per re-check for the sketch index, two spread queries
+    otherwise) and are re-checked only when stale.  Works on the
+    *original* graph — multi-seed handling is the evaluator's job — so
+    blockers come back as original ids with no unification round-trip.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    seed_list = list(dict.fromkeys(seeds))
+    seed_set = set(seed_list)
+    if candidates is None:
+        pool: Sequence[int] = [
+            v for v in range(graph.n) if v not in seed_set
+        ]
+    else:
+        pool = [v for v in candidates if v not in seed_set]
+
+    current = evaluator.expected_spread(seed_list, theta)
+    gain_fn = make_gain_fn(evaluator, seed_list, theta)
+    selection = celf_select(
+        pool, budget, gain_fn, stop_when_exhausted=stop_when_exhausted
+    )
+
+    round_spreads = [current]
+    round_deltas: list[float] = []
+    blockers: list[int] = []
+    for pick, gain in zip(selection.picks, selection.gains):
+        if blockers:
+            round_spreads.append(current)
+        blockers.append(pick)
+        round_deltas.append(gain)
+        current -= gain
+    return BlockingResult(
+        blockers=blockers,
+        estimated_spread=current,
+        round_spreads=round_spreads,
+        round_deltas=round_deltas,
+    )
+
+
 def advanced_greedy(
     graph: DiGraph,
     seeds: Sequence[int],
@@ -60,6 +118,7 @@ def advanced_greedy(
     sampler_factory: SamplerFactory | None = None,
     stop_when_exhausted: bool = True,
     evaluator: "SpreadEvaluator | None" = None,
+    lazy: bool | None = None,
 ) -> BlockingResult:
     """AdvancedGreedy blocker selection (Algorithm 3).
 
@@ -89,10 +148,23 @@ def advanced_greedy(
         ``estimated_spread`` is that evaluator's independent estimate
         of the final blocker set over ``theta`` rounds, instead of the
         selection's own sampled-graph estimate.  Selection itself is
-        unchanged.
+        unchanged — unless ``lazy`` engages (below), which hands
+        selection to the evaluator too.
+    lazy:
+        CELF-style lazy selection through the evaluator (see
+        :func:`lazy_blocking` and :mod:`repro.core.lazy`).  ``None``
+        (default) enables it exactly when the evaluator answers
+        ``marginal_gain`` directly (the sketch index, whose per-round
+        candidate sweep is an array read); ``True`` forces it for any
+        evaluator; ``False`` keeps the sampling path.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
+    if resolve_lazy(evaluator, sampler_factory, lazy):
+        return lazy_blocking(
+            graph, seeds, budget, theta, evaluator,
+            stop_when_exhausted=stop_when_exhausted,
+        )
     gen = ensure_rng(rng)
     unified = unify_seeds(graph, seeds)
     if sampler_factory is None:

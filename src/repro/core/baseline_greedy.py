@@ -15,6 +15,7 @@ from typing import Sequence, TYPE_CHECKING
 from ..graph import DiGraph
 from ..rng import ensure_rng, RngLike
 from ..spread import MonteCarloEngine
+from .lazy import celf_select, make_gain_fn, supports_marginal_gain
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from ..engine import SpreadEvaluator
@@ -41,6 +42,7 @@ def baseline_greedy(
     rng: RngLike = None,
     candidates: Sequence[int] | None = None,
     evaluator: "SpreadEvaluator | None" = None,
+    lazy: bool | None = None,
 ) -> BaselineGreedyResult:
     """BaselineGreedy with Monte-Carlo spread estimation (Algorithm 1).
 
@@ -62,6 +64,13 @@ def baseline_greedy(
         reproduces the historical fixed-seed results exactly; the
         vectorized/parallel/pooled backends trade the RNG stream for
         throughput.
+    lazy:
+        CELF-style lazy evaluation (see :mod:`repro.core.lazy`):
+        marginal gains are priority-queued and re-checked only when
+        stale, instead of every candidate being re-simulated every
+        round.  ``None`` (default) enables it exactly when the
+        evaluator answers ``marginal_gain`` directly (the sketch
+        index); pass ``True``/``False`` to force either path.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
@@ -82,6 +91,30 @@ def baseline_greedy(
     evaluations = 0
     current = engine.expected_spread(seed_list, rounds)
     evaluations += 1
+
+    if lazy is None:
+        lazy = supports_marginal_gain(engine)
+    if lazy:
+        gain_fn = make_gain_fn(engine, seed_list, rounds)
+        # BG's eager loop always spends the budget (it minimises the
+        # blocked spread, never tests positivity), so the lazy replay
+        # does too
+        selection = celf_select(
+            pool, budget, gain_fn, stop_when_exhausted=False
+        )
+        for pick, gain in zip(selection.picks, selection.gains):
+            round_spreads.append(current)
+            blockers.append(pick)
+            # gain was measured as spread(B) - spread(B + [pick]) on
+            # the evaluator's worlds, so this is the same estimate the
+            # eager loop would have recorded
+            current -= gain
+        return BaselineGreedyResult(
+            blockers=blockers,
+            estimated_spread=current,
+            round_spreads=round_spreads,
+            evaluations=evaluations + selection.evaluations,
+        )
 
     for _ in range(min(budget, len(pool))):
         round_spreads.append(current)

@@ -21,11 +21,14 @@ from __future__ import annotations
 
 from typing import Sequence, TYPE_CHECKING
 
+import numpy as np
+
 from ..graph import DiGraph
 from ..rng import ensure_rng, RngLike
 from ..sampling import EdgeSampler, ICSampler
 from .advanced_greedy import BlockingResult, SamplerFactory
 from .decrease import decrease_es_computation
+from .lazy import celf_select, GainFn, make_gain_fn, resolve_lazy
 from .problem import unify_seeds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
@@ -43,6 +46,7 @@ def greedy_replace(
     sampler_factory: SamplerFactory | None = None,
     fill_budget: bool = True,
     evaluator: "SpreadEvaluator | None" = None,
+    lazy: bool | None = None,
 ) -> BlockingResult:
     """GreedyReplace blocker selection (Algorithm 4).
 
@@ -52,9 +56,21 @@ def greedy_replace(
     fewer than ``b`` out-neighbours.  ``evaluator`` (if given, built on
     the original graph) re-estimates the final blocker set's spread
     independently over ``theta`` rounds; selection is unchanged.
+
+    ``lazy`` (default: auto, on when the evaluator answers
+    ``marginal_gain``) runs all three phases through the evaluator:
+    phases 1/1b priority-queue marginal gains CELF-style
+    (:mod:`repro.core.lazy`) and the replacement phase reads whole
+    candidate sweeps from
+    :meth:`~repro.engine.sketch.SketchIndex.decrease_estimates` when
+    the evaluator provides it.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
+    if resolve_lazy(evaluator, sampler_factory, lazy):
+        return _lazy_greedy_replace(
+            graph, seeds, budget, theta, evaluator, fill_budget
+        )
     gen = ensure_rng(rng)
     unified = unify_seeds(graph, seeds)
     if sampler_factory is None:
@@ -145,6 +161,130 @@ def greedy_replace(
         round_spreads=round_spreads,
         round_deltas=round_deltas,
     )
+
+
+def _lazy_greedy_replace(
+    graph: DiGraph,
+    seeds: Sequence[int],
+    budget: int,
+    theta: int,
+    evaluator: "SpreadEvaluator",
+    fill_budget: bool,
+) -> BlockingResult:
+    """GreedyReplace's three phases driven by an evaluator.
+
+    Mirrors the eager algorithm on the *original* graph (multi-seed
+    handling is the evaluator's job, so blockers come back as original
+    ids): phase 1 CELF-selects over the seeds' out-neighbours, phase 1b
+    fills the budget over all candidates, and the replacement phase
+    revisits blockers in reverse insertion order against a
+    whole-candidate gain sweep.
+    """
+    seed_list = list(dict.fromkeys(seeds))
+    seed_set = set(seed_list)
+    gain_fn = make_gain_fn(evaluator, seed_list, theta)
+
+    current = evaluator.expected_spread(seed_list, theta)
+    round_spreads: list[float] = []
+    round_deltas: list[float] = []
+    blockers: list[int] = []
+
+    def take(selection) -> None:
+        nonlocal current
+        for pick, gain in zip(selection.picks, selection.gains):
+            round_spreads.append(current)
+            blockers.append(pick)
+            round_deltas.append(gain)
+            current -= gain
+
+    # ------------------------------------------------------------------
+    # Phase 1: greedy over the seeds' out-neighbours — the unified
+    # source's out-neighbourhood (Lines 1-10).
+    # ------------------------------------------------------------------
+    neighbours = sorted(
+        {v for s in seed_list for v in graph.out_neighbors(s)} - seed_set
+    )
+    take(celf_select(neighbours, budget, gain_fn))
+
+    # ------------------------------------------------------------------
+    # Phase 1b: out-degree smaller than the budget — fill greedily over
+    # all candidates (see module docstring).
+    # ------------------------------------------------------------------
+    cap = min(budget, graph.n - len(seed_set))
+    if fill_budget and len(blockers) < cap:
+        pool = [v for v in range(graph.n) if v not in seed_set]
+        take(
+            celf_select(
+                pool, cap - len(blockers), gain_fn, picked=blockers
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: replacement in reverse insertion order (Lines 11-20).
+    # ------------------------------------------------------------------
+    for position in range(len(blockers) - 1, -1, -1):
+        u = blockers[position]
+        others = blockers[:position] + blockers[position + 1:]
+        spread = evaluator.expected_spread(seed_list, theta, others)
+        x, gain = _best_replacement(
+            evaluator, gain_fn, seed_list, theta, others, seed_set
+        )
+        if x < 0:  # no candidate at all: keep the incumbent
+            x, gain = u, gain_fn(u, others)
+        blockers[position] = x
+        round_spreads.append(spread)
+        round_deltas.append(gain)
+        current = spread - gain
+        if x == u:
+            # early termination: the incumbent is already the best
+            # choice, so earlier blockers would not change either
+            break
+
+    if not round_spreads:
+        round_spreads.append(current)
+    return BlockingResult(
+        blockers=blockers,
+        estimated_spread=current,
+        round_spreads=round_spreads,
+        round_deltas=round_deltas,
+    )
+
+
+def _best_replacement(
+    evaluator: "SpreadEvaluator",
+    gain_fn: GainFn,
+    seeds: Sequence[int],
+    theta: int,
+    others: Sequence[int],
+    seed_set: set[int],
+) -> tuple[int, float]:
+    """``(vertex, gain)`` maximising the decrease on top of ``others``.
+
+    Reads the whole sweep off ``decrease_estimates`` when the evaluator
+    provides one (Algorithm 2's all-candidates-at-once shape, an array
+    read for the sketch index); otherwise asks ``gain_fn`` per vertex.
+    Ties break toward the smaller id, matching the eager
+    ``best_vertex``; returns ``(-1, 0.0)`` when no candidate exists.
+    """
+    banned = seed_set.union(others)
+    sweep = getattr(evaluator, "decrease_estimates", None)
+    if sweep is not None:
+        delta = np.asarray(sweep(seeds, theta, others), dtype=np.float64)
+        masked = delta.copy()
+        if banned:
+            masked[list(banned)] = -np.inf
+        x = int(np.argmax(masked))
+        if not np.isfinite(masked[x]):
+            return -1, 0.0
+        return x, float(delta[x])
+    best, best_gain = -1, 0.0
+    for v in range(evaluator.csr.n):
+        if v in banned:
+            continue
+        g = gain_fn(v, others)
+        if best < 0 or g > best_gain:
+            best, best_gain = v, g
+    return best, best_gain
 
 
 def _argmax(delta, candidates: set[int]) -> int:

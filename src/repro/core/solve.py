@@ -68,6 +68,7 @@ def solve_imin(
     mcs_rounds: int = 1000,
     rng: RngLike = None,
     evaluator: "SpreadEvaluator | None" = None,
+    lazy: bool | None = None,
 ) -> SolveResult:
     """Select blockers with the named algorithm.
 
@@ -84,27 +85,37 @@ def solve_imin(
         methods use it to re-estimate the final spread.  Heuristics
         and ``exact`` ignore it.  Default ``None`` reproduces
         historical fixed-seed results exactly.
+    lazy:
+        CELF-style lazy selection through the evaluator (see
+        :mod:`repro.core.lazy`) for the four greedy methods.  ``None``
+        (default) auto-enables it exactly when ``evaluator`` answers
+        ``marginal_gain`` directly (the sketch index); ``True``/
+        ``False`` force either path.  Heuristics and ``exact`` ignore
+        it.
     """
     name = algorithm.lower()
     if name == "greedy-replace":
         result = greedy_replace(
-            graph, seeds, budget, theta=theta, rng=rng, evaluator=evaluator
+            graph, seeds, budget, theta=theta, rng=rng, evaluator=evaluator,
+            lazy=lazy,
         )
         return SolveResult(name, result.blockers, result.estimated_spread)
     if name == "advanced-greedy":
         result = advanced_greedy(
-            graph, seeds, budget, theta=theta, rng=rng, evaluator=evaluator
+            graph, seeds, budget, theta=theta, rng=rng, evaluator=evaluator,
+            lazy=lazy,
         )
         return SolveResult(name, result.blockers, result.estimated_spread)
     if name == "static-greedy":
         result = static_sample_greedy(
-            graph, seeds, budget, theta=theta, rng=rng, evaluator=evaluator
+            graph, seeds, budget, theta=theta, rng=rng, evaluator=evaluator,
+            lazy=lazy,
         )
         return SolveResult(name, result.blockers, result.estimated_spread)
     if name == "baseline-greedy":
         result = baseline_greedy(
             graph, seeds, budget, rounds=mcs_rounds, rng=rng,
-            evaluator=evaluator,
+            evaluator=evaluator, lazy=lazy,
         )
         return SolveResult(name, result.blockers, result.estimated_spread)
     if name == "exact":

@@ -3,7 +3,7 @@
 from .iterative import immediate_dominators_iterative
 from .lengauer_tarjan import dominator_tree_arrays, immediate_dominators
 from .naive import dominator_sets, immediate_dominators_naive
-from .tree import DominatorTree, subtree_sizes
+from .tree import DominatorTree, dominator_order_sizes, subtree_sizes
 
 __all__ = [
     "immediate_dominators",
@@ -13,4 +13,5 @@ __all__ = [
     "dominator_sets",
     "DominatorTree",
     "subtree_sizes",
+    "dominator_order_sizes",
 ]

@@ -13,9 +13,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Mapping, Sequence, Union
 
+import numpy as np
+
 from .lengauer_tarjan import dominator_tree_arrays
 
-__all__ = ["DominatorTree", "subtree_sizes"]
+__all__ = ["DominatorTree", "subtree_sizes", "dominator_order_sizes"]
 
 Adjacency = Union[Mapping[int, Sequence[int]], Sequence[Sequence[int]]]
 
@@ -33,6 +35,26 @@ def subtree_sizes(idom: Sequence[int]) -> list[int]:
     for w in range(size - 1, 0, -1):
         sizes[idom[w]] += sizes[w]
     return sizes
+
+
+def dominator_order_sizes(
+    succ: Adjacency, root: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """DFS preorder and dominator-subtree sizes, as flat int64 arrays.
+
+    The per-sample payload of the sketch estimator: ``order`` lists the
+    reachable vertices (root first) and ``sizes[i]`` is the dominator
+    subtree size of ``order[i]`` — by Theorem 6 exactly the number of
+    vertices cut off when ``order[i]`` is blocked in this sample.
+    Packing both into numpy arrays lets the sketch index aggregate
+    thousands of samples with ``np.add.at`` scatters instead of Python
+    loops.
+    """
+    order, idom = dominator_tree_arrays(succ, root)
+    return (
+        np.asarray(order, dtype=np.int64),
+        np.asarray(subtree_sizes(idom), dtype=np.int64),
+    )
 
 
 class DominatorTree:

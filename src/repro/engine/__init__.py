@@ -13,6 +13,10 @@ form.  Four pieces:
     across queries and processes.
 :mod:`repro.engine.parallel`
     Worker-pool executor with deterministic per-worker RNG streams.
+:mod:`repro.engine.sketch`
+    The dominator-tree sketch index — the paper's Algorithm 2
+    estimator as a persistent, incrementally-rebased backend with O(1)
+    marginal gains.
 :mod:`repro.engine.evaluator`
     The :class:`SpreadEvaluator` protocol, the backend implementations
     and the :func:`make_evaluator` factory; the scalar
@@ -41,8 +45,11 @@ from .kernels import (
 )
 from .parallel import default_workers, ParallelEvaluator, split_rounds
 from .pool import PoolStats, SampleBatch, SamplePool
+from .sketch import SketchIndex, SketchStats
 
 __all__ = [
+    "SketchIndex",
+    "SketchStats",
     "SpreadEvaluator",
     "ScalarEvaluator",
     "VectorizedEvaluator",

@@ -19,6 +19,13 @@ surface as a protocol and provides one constructor,
     Reuses one persistent set of live-edge samples
     (:mod:`repro.engine.pool`) across every query; ``rounds`` selects
     how many pooled samples to evaluate.
+``sketch``
+    The paper's dominator-subtree estimator as a persistent index
+    (:mod:`repro.engine.sketch`): pooled samples plus one cached
+    dominator tree per sample, rebased incrementally as the blocker
+    set moves.  Additionally answers
+    :meth:`~repro.engine.sketch.SketchIndex.marginal_gain` in O(1),
+    which the lazy greedy loops (:mod:`repro.core.lazy`) exploit.
 
 All backends estimate the same quantity ``E(S, G[V \\ blocked])``
 (Definition 3, seeds counted); they differ only in throughput and RNG
@@ -44,6 +51,7 @@ from .kernels import (
 )
 from .parallel import ParallelEvaluator
 from .pool import SamplePool
+from .sketch import SketchIndex
 
 __all__ = [
     "SpreadEvaluator",
@@ -54,7 +62,9 @@ __all__ = [
     "make_evaluator",
 ]
 
-BACKENDS: tuple[str, ...] = ("scalar", "vectorized", "parallel", "pooled")
+BACKENDS: tuple[str, ...] = (
+    "scalar", "vectorized", "parallel", "pooled", "sketch",
+)
 
 
 @runtime_checkable
@@ -232,7 +242,16 @@ def make_evaluator(
             cache_key=cache_key,
             batch_size=batch_size,
         )
+    if name == "sketch":
+        return SketchIndex(
+            graph,
+            rng,
+            pool=pool,
+            cache_dir=cache_dir,
+            cache_key=cache_key,
+        )
     raise ValueError(
-        f"unknown engine backend {backend!r}; expected one of "
-        + ", ".join(BACKENDS)
+        f"unknown engine backend {backend!r}: expected one of "
+        + ", ".join(sorted(BACKENDS))
+        + " (see repro.engine.make_evaluator)"
     )

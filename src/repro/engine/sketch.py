@@ -1,0 +1,324 @@
+"""Dominator-tree sketch index: the paper's estimator as an engine.
+
+The Monte-Carlo backends answer every blocked-set query by re-walking
+cascades from scratch; the paper's own estimator (Section V-B/C) shows
+that is wasted work.  Draw ``theta`` live-edge samples **once**, build
+the dominator tree of each sample from the (virtual) source, and every
+query becomes tree arithmetic:
+
+* the expected spread of the current blocker set is the mean reachable
+  count, i.e. the mean dominator-tree size (Lemma 1);
+* the marginal effect of additionally blocking ``v`` is the mean
+  dominator-subtree size of ``v`` — by Theorem 6 the subtree of ``v``
+  is *exactly* the set of vertices cut off when ``v`` is removed from
+  that sample, so per sampled world the answer is exact, and Theorem 5
+  bounds the sampling error of the mean
+  (:func:`repro.sampling.required_samples`).
+
+:class:`SketchIndex` packages this as a persistent, stateful index
+behind the :class:`~repro.engine.evaluator.SpreadEvaluator` protocol:
+
+* samples come from a :class:`~repro.engine.pool.SamplePool`, so they
+  are chunk-seeded (bit-identical regardless of growth history) and
+  shareable with the pooled Monte-Carlo backend and across processes;
+* trees are cached per sample and **rebased** incrementally: moving
+  from blocker set ``B`` to ``B'`` re-derives only the samples in
+  which some added blocker is currently reachable or some removed
+  blocker could become reachable — untouched samples keep their trees;
+* aggregated subtree sizes are maintained as one ``float64[n + 1]``
+  array, so :meth:`SketchIndex.marginal_gain` is an O(1) lookup after
+  the rebase and a whole greedy round of candidate gains costs one
+  array read (Algorithm 2's "all candidates at once" property).
+
+Multi-seed queries use a virtual super-source (id ``n``) with
+deterministic edges to every seed — joint reachability on the *same*
+live-edge draw, which is Lemma 1's estimator without the noisy-or
+rebuild of :func:`~repro.core.problem.unify_seeds`.
+
+RIS sketches (:mod:`repro.imax.ris`) do not transfer to blockers —
+they sample reverse-reachable sets for *seed placement*; blocking
+changes the graph itself, which is why this index re-derives touched
+trees instead of reweighting sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..dominator import dominator_order_sizes
+from ..graph import CSRGraph, DiGraph
+from ..rng import RngLike
+from ..sampling import adjacency_from_edges
+from .pool import SampleBatch, SamplePool
+
+__all__ = ["SketchIndex", "SketchStats"]
+
+# retained seed-set/theta views (each holds theta cached trees); greedy
+# loops use one view, CLI runs use at most one per (selection, judge)
+_MAX_VIEWS = 4
+
+
+@dataclass
+class SketchStats:
+    """Observability counters for a :class:`SketchIndex`."""
+
+    queries: int = 0
+    """Spread / marginal-gain queries answered."""
+    rebases: int = 0
+    """Blocker-set transitions that re-derived at least one tree."""
+    trees_built: int = 0
+    """Dominator trees constructed (initial builds + rebases)."""
+    samples_skipped: int = 0
+    """Samples left untouched by a rebase (the incremental win)."""
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "rebases": self.rebases,
+            "trees_built": self.trees_built,
+            "samples_skipped": self.samples_skipped,
+        }
+
+
+class _SketchView:
+    """Per-(seed set, theta) tree cache over a sample batch.
+
+    Holds, for every sample, the dominator tree of the sample *under
+    the currently committed blocker set* — as ``(order, sizes)`` flat
+    arrays plus the reachable-vertex set used for touch tests — and
+    the aggregated subtree-size array over all samples.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        batch: SampleBatch,
+        seeds: tuple[int, ...],
+        stats: SketchStats,
+    ) -> None:
+        self.csr = csr
+        self.batch = batch
+        self.seeds = seeds
+        self.stats = stats
+        self.root = csr.n  # virtual super-source
+        self.theta = batch.theta
+        self.blocked: frozenset[int] = frozenset()
+        self._orders: list[np.ndarray] = []
+        self._sizes: list[np.ndarray] = []
+        self._reachable: list[frozenset[int]] = []
+        # vertices reachable with *no* blockers: the superset of what
+        # any unblocking can expose, used for removed-blocker touch
+        # tests
+        self._base_reachable: list[frozenset[int]] = []
+        self._delta_sum = np.zeros(csr.n + 1, dtype=np.float64)
+        self._spread_sum = 0
+        for t in range(self.theta):
+            order, sizes = self._build_tree(t, self.blocked)
+            self._orders.append(order)
+            self._sizes.append(sizes)
+            reachable = frozenset(order.tolist())
+            self._reachable.append(reachable)
+            self._base_reachable.append(reachable)
+            self._apply(order, sizes, +1)
+
+    # ------------------------------------------------------------------
+    # tree construction and aggregation
+    # ------------------------------------------------------------------
+    def _build_tree(
+        self, t: int, blocked: frozenset[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        succ = adjacency_from_edges(self.csr, self.batch.surviving(t))
+        succ[self.root] = list(self.seeds)
+        if blocked:
+            succ = {
+                u: [v for v in nbrs if v not in blocked]
+                for u, nbrs in succ.items()
+                if u not in blocked
+            }
+        self.stats.trees_built += 1
+        return dominator_order_sizes(succ, self.root)
+
+    def _apply(self, order: np.ndarray, sizes: np.ndarray, sign: int) -> None:
+        # order[0] is the virtual root; its "subtree" is the whole
+        # sample and it is never a blocker candidate, so skip it
+        self._spread_sum += sign * (order.shape[0] - 1)
+        if order.shape[0] > 1:
+            np.add.at(
+                self._delta_sum,
+                order[1:],
+                sign * sizes[1:].astype(np.float64),
+            )
+
+    # ------------------------------------------------------------------
+    # rebase: move the committed blocker set, touching few samples
+    # ------------------------------------------------------------------
+    def rebase(self, blocked: frozenset[int]) -> None:
+        if blocked == self.blocked:
+            return
+        added = blocked - self.blocked
+        removed = self.blocked - blocked
+        touched = 0
+        for t in range(self.theta):
+            reachable = self._reachable[t]
+            base = self._base_reachable[t]
+            if not (
+                any(v in reachable for v in added)
+                or any(v in base for v in removed)
+            ):
+                continue
+            touched += 1
+            self._apply(self._orders[t], self._sizes[t], -1)
+            order, sizes = self._build_tree(t, blocked)
+            self._orders[t] = order
+            self._sizes[t] = sizes
+            self._reachable[t] = frozenset(order.tolist())
+            self._apply(order, sizes, +1)
+        self.blocked = blocked
+        if touched:
+            self.stats.rebases += 1
+        self.stats.samples_skipped += self.theta - touched
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def spread(self, blocked: frozenset[int]) -> float:
+        self.rebase(blocked)
+        self.stats.queries += 1
+        return self._spread_sum / self.theta
+
+    def gain(self, v: int, blocked: frozenset[int]) -> float:
+        self.rebase(blocked)
+        self.stats.queries += 1
+        if v in blocked:
+            return 0.0
+        return float(self._delta_sum[v]) / self.theta
+
+    def gains(self, blocked: frozenset[int]) -> np.ndarray:
+        """Every vertex's marginal decrease at once (Algorithm 2)."""
+        self.rebase(blocked)
+        self.stats.queries += 1
+        return self._delta_sum[: self.csr.n] / self.theta
+
+
+class SketchIndex:
+    """Persistent dominator-tree sketches behind ``SpreadEvaluator``.
+
+    Parameters
+    ----------
+    graph:
+        Graph (or frozen CSR) whose live-edge distribution is sampled.
+    rng:
+        Seed / generator for the sample pool.  An integer seed makes
+        results bit-reproducible (and keys the optional disk cache).
+    pool:
+        Share an existing :class:`SamplePool` (e.g. with a pooled
+        Monte-Carlo evaluator) instead of creating one.
+    cache_dir / cache_key:
+        Sample-pool persistence knobs, forwarded verbatim.
+
+    ``rounds`` in the evaluator protocol selects ``theta``, the number
+    of pooled samples the sketches are built from — the Theorem 5
+    knob, see :func:`repro.sampling.required_samples` /
+    :func:`repro.sampling.resolve_theta`.
+    """
+
+    backend = "sketch"
+
+    def __init__(
+        self,
+        graph: DiGraph | CSRGraph,
+        rng: RngLike = None,
+        pool: SamplePool | None = None,
+        cache_dir=None,
+        cache_key: str | None = None,
+    ) -> None:
+        if pool is not None:
+            self.pool = pool
+        else:
+            self.pool = SamplePool(
+                graph, rng, cache_dir=cache_dir, cache_key=cache_key
+            )
+        self.csr = self.pool.csr
+        self.stats = SketchStats()
+        self._views: dict[tuple[tuple[int, ...], int], _SketchView] = {}
+
+    # ------------------------------------------------------------------
+    # view management
+    # ------------------------------------------------------------------
+    def _view(self, seeds: Sequence[int], theta: int) -> _SketchView:
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        seed_tuple = tuple(dict.fromkeys(int(s) for s in seeds))
+        if not seed_tuple:
+            raise ValueError("at least one seed is required")
+        for s in seed_tuple:
+            if not 0 <= s < self.csr.n:
+                raise IndexError(f"seed {s} is not a vertex")
+        key = (seed_tuple, theta)
+        view = self._views.get(key)
+        if view is None:
+            view = _SketchView(
+                self.csr, self.pool.get(theta), seed_tuple, self.stats
+            )
+            self._views[key] = view
+            while len(self._views) > _MAX_VIEWS:
+                self._views.pop(next(iter(self._views)))
+        else:
+            # LRU refresh
+            self._views[key] = self._views.pop(key)
+        return view
+
+    def _blocked_set(
+        self, seeds: Sequence[int], blocked: Iterable[int]
+    ) -> frozenset[int]:
+        blocked_set = frozenset(int(v) for v in blocked)
+        for s in seeds:
+            if int(s) in blocked_set:
+                raise ValueError(f"seed {s} cannot be blocked")
+        return blocked_set
+
+    # ------------------------------------------------------------------
+    # SpreadEvaluator protocol + sketch-specific queries
+    # ------------------------------------------------------------------
+    def expected_spread(
+        self,
+        seeds: Sequence[int],
+        rounds: int,
+        blocked: Iterable[int] = (),
+    ) -> float:
+        """Sketch estimate of ``E(seeds, G[V \\ blocked])`` over
+        ``rounds`` pooled samples (seeds counted, per Definition 3)."""
+        blocked_set = self._blocked_set(seeds, blocked)
+        return self._view(seeds, rounds).spread(blocked_set)
+
+    def marginal_gain(
+        self,
+        v: int,
+        seeds: Sequence[int],
+        rounds: int,
+        blocked: Iterable[int] = (),
+    ) -> float:
+        """Estimated spread decrease from *additionally* blocking ``v``.
+
+        Exact per sampled world (Theorem 6): equals
+        ``expected_spread(seeds, rounds, blocked) -
+        expected_spread(seeds, rounds, blocked + [v])`` on the same
+        samples, at the cost of an array lookup.
+        """
+        blocked_set = self._blocked_set(seeds, blocked)
+        return self._view(seeds, rounds).gain(int(v), blocked_set)
+
+    def decrease_estimates(
+        self,
+        seeds: Sequence[int],
+        rounds: int,
+        blocked: Iterable[int] = (),
+    ) -> np.ndarray:
+        """``float64[n]`` of every vertex's marginal decrease at once —
+        the sketch form of Algorithm 2's output (0 for unreachable or
+        already-blocked vertices)."""
+        blocked_set = self._blocked_set(seeds, blocked)
+        return self._view(seeds, rounds).gains(blocked_set)

@@ -5,6 +5,7 @@ from .estimator import (
     chernoff_failure_probability,
     estimate_spread_sampled,
     required_samples,
+    resolve_theta,
 )
 from .live_edge import EdgeSampler, ICSampler, adjacency_from_edges
 from .reachability import sigma, sigma_through, sigma_through_all
@@ -17,6 +18,7 @@ __all__ = [
     "sigma_through",
     "sigma_through_all",
     "required_samples",
+    "resolve_theta",
     "chernoff_failure_probability",
     "estimate_spread_sampled",
     "SpreadEstimate",

@@ -25,6 +25,7 @@ from .live_edge import ICSampler
 
 __all__ = [
     "required_samples",
+    "resolve_theta",
     "chernoff_failure_probability",
     "SpreadEstimate",
     "estimate_spread_sampled",
@@ -67,6 +68,40 @@ def required_samples(
         / (epsilon * epsilon * opt_lower_bound)
     )
     return math.ceil(bound)
+
+
+def resolve_theta(
+    n: int,
+    theta: int | None = None,
+    epsilon: float | None = None,
+    ell: float = 1.0,
+    opt_lower_bound: float = 1.0,
+    max_theta: int | None = None,
+) -> int:
+    """Pick the sample count: explicit ``theta`` wins, else Theorem 5.
+
+    The one place the CLI's ``--theta`` / ``--eps`` / ``--ell`` knobs
+    meet: an explicit ``theta`` is returned unchanged, otherwise
+    ``epsilon`` (and the confidence exponent ``ell``) are mapped
+    through :func:`required_samples`.  ``max_theta`` optionally caps
+    the theory bound, which is conservative by a large constant on
+    real graphs (Figure 5 of the paper shows quality is flat in theta
+    well below it).
+    """
+    if theta is not None:
+        if epsilon is not None:
+            raise ValueError("pass either theta or epsilon, not both")
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        return int(theta)
+    if epsilon is None:
+        raise ValueError("need an explicit theta or an epsilon target")
+    bound = required_samples(
+        n, epsilon, opt_lower_bound, confidence_exponent=ell
+    )
+    if max_theta is not None:
+        bound = min(bound, int(max_theta))
+    return bound
 
 
 def chernoff_failure_probability(

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.datasets.toy import figure1_graph
+from repro.engine import BACKENDS, make_evaluator
 
 
 class TestParser:
@@ -125,7 +127,15 @@ class TestEngineFlag:
             )
         assert "--workers must be >= 1" in capsys.readouterr().out
 
-    @pytest.mark.parametrize("engine", ["vectorized", "pooled"])
+    def test_make_evaluator_unknown_engine_lists_backends(self):
+        with pytest.raises(ValueError) as error:
+            make_evaluator(figure1_graph(), "quantum")
+        message = str(error.value)
+        assert "quantum" in message
+        for name in BACKENDS:
+            assert name in message
+
+    @pytest.mark.parametrize("engine", ["vectorized", "pooled", "sketch"])
     def test_block_with_engine(self, capsys, engine):
         code = main(
             [
@@ -161,3 +171,59 @@ class TestEngineFlag:
         out = capsys.readouterr().out
         assert "engine=vectorized" in out
         assert "expected spread" in out
+
+
+class TestThetaFlags:
+    def test_eps_derives_theta_from_theorem5(self, capsys):
+        code = main(
+            [
+                "spread",
+                "--dataset", "email-core",
+                "--scale", "0.08",
+                "--seeds", "2",
+                "--rng", "1",
+                "--engine", "sketch",
+                "--eps", "0.5",
+                "--ell", "0.5",
+                "--max-theta", "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "from Theorem 5" in out
+        assert "eps=0.5" in out
+
+    def test_theta_and_eps_conflict_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "spread",
+                    "--dataset", "email-core",
+                    "--scale", "0.08",
+                    "--seeds", "2",
+                    "--theta", "50",
+                    "--eps", "0.3",
+                ]
+            )
+        out = capsys.readouterr().out
+        assert "either --theta or --eps" in out
+
+    def test_block_accepts_eps(self, capsys):
+        code = main(
+            [
+                "block",
+                "--dataset", "email-core",
+                "--scale", "0.08",
+                "--budget", "2",
+                "--seeds", "2",
+                "--rng", "1",
+                "--algorithm", "ag",
+                "--engine", "sketch",
+                "--eps", "0.5",
+                "--max-theta", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "from Theorem 5" in out
+        assert "blockers=" in out

@@ -1,0 +1,343 @@
+"""Sketch-index backend (engine/sketch.py) and CELF lazy greedy tests.
+
+Cross-validates the dominator-subtree estimator against the exact
+possible-world enumeration and the vectorized Monte-Carlo backend on
+the Figure 1 toy graph (where exact computation is tractable), pins
+down the determinism guarantees of the chunk-seeded sample pool, and
+checks that the lazy (CELF) selection paths of the greedy solvers agree
+with their eager counterparts on common random worlds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    advanced_greedy,
+    baseline_greedy,
+    greedy_replace,
+    solve_imin,
+    static_sample_greedy,
+)
+from repro.core.lazy import celf_select, make_gain_fn, supports_marginal_gain
+from repro.datasets.toy import figure1_graph, figure1_seed, V
+from repro.engine import make_evaluator, SketchIndex
+from repro.engine.pool import SamplePool
+from repro.sampling import ICSampler, required_samples, resolve_theta
+from repro.spread.exact import exact_expected_spread
+
+EPS = 0.3  # Theorem-5 relative error targeted by the cross-validation
+
+
+@pytest.fixture
+def toy():
+    return figure1_graph()
+
+
+class TestCrossValidation:
+    """Sketch, vectorized MC and exact agree within the Theorem-5 eps."""
+
+    def test_unblocked_spread_within_epsilon(self, toy):
+        exact = exact_expected_spread(toy, [figure1_seed])
+        assert exact == pytest.approx(7.66)
+        theta = required_samples(toy.n, EPS, opt_lower_bound=exact)
+        sketch = make_evaluator(toy, "sketch", rng=11)
+        vec = make_evaluator(toy, "vectorized", rng=11)
+        assert sketch.expected_spread([figure1_seed], theta) == pytest.approx(
+            exact, rel=EPS
+        )
+        assert vec.expected_spread([figure1_seed], theta) == pytest.approx(
+            exact, rel=EPS
+        )
+
+    def test_blocked_spread_within_epsilon(self, toy):
+        blocked = [V(5)]
+        exact = exact_expected_spread(toy, [figure1_seed], blocked=blocked)
+        assert exact == pytest.approx(3.0)
+        theta = required_samples(toy.n, EPS, opt_lower_bound=exact)
+        sketch = make_evaluator(toy, "sketch", rng=11)
+        vec = make_evaluator(toy, "vectorized", rng=11)
+        estimate = sketch.expected_spread([figure1_seed], theta, blocked)
+        assert estimate == pytest.approx(exact, rel=EPS)
+        estimate = vec.expected_spread([figure1_seed], theta, blocked)
+        assert estimate == pytest.approx(exact, rel=EPS)
+
+    def test_marginal_gain_is_exact_spread_difference(self, toy):
+        # Theorem 6: on the *same* sampled worlds the subtree size is
+        # exactly the blocked-off vertex count, so the identity holds
+        # to float precision, not just statistically
+        sketch = make_evaluator(toy, "sketch", rng=11)
+        theta = 120
+        for v in (V(2), V(4), V(5), V(9)):
+            gain = sketch.marginal_gain(v, [figure1_seed], theta)
+            before = sketch.expected_spread([figure1_seed], theta)
+            after = sketch.expected_spread([figure1_seed], theta, [v])
+            assert gain == pytest.approx(before - after, abs=1e-9)
+
+    def test_decrease_estimates_match_marginal_gains(self, toy):
+        sketch = make_evaluator(toy, "sketch", rng=11)
+        theta = 90
+        sweep = sketch.decrease_estimates([figure1_seed], theta)
+        assert sweep.shape == (toy.n,)
+        for v in range(toy.n):
+            if v == figure1_seed:
+                continue
+            gain = sketch.marginal_gain(v, [figure1_seed], theta)
+            assert sweep[v] == pytest.approx(gain, abs=1e-12)
+
+    def test_matches_pooled_backend_on_shared_worlds(self, toy):
+        # Lemma 1 two ways: reachability count (pooled) vs dominator
+        # tree size (sketch) over the *same* sample pool — identical
+        pool = SamplePool(toy, rng=5)
+        sketch = make_evaluator(toy, "sketch", pool=pool)
+        pooled = make_evaluator(toy, "pooled", pool=pool)
+        for blocked in ([], [V(5)], [V(2), V(4)]):
+            a = sketch.expected_spread([figure1_seed], 80, blocked)
+            b = pooled.expected_spread([figure1_seed], 80, blocked)
+            assert a == b
+
+    def test_multi_seed_joint_reachability(self, toy):
+        pool = SamplePool(toy, rng=5)
+        sketch = make_evaluator(toy, "sketch", pool=pool)
+        pooled = make_evaluator(toy, "pooled", pool=pool)
+        seeds = [figure1_seed, V(9)]
+        assert sketch.expected_spread(seeds, 80) == pooled.expected_spread(
+            seeds, 80
+        )
+
+
+class TestDeterminism:
+    def test_bit_identical_across_theta_request_chunking(self, toy):
+        # the pool is chunk-seeded: the first theta samples are the
+        # same arrays whether requested at once or grown in stages
+        direct = SketchIndex(toy, rng=5)
+        staged = SketchIndex(toy, rng=5)
+        for theta in (17, 60, 120):
+            staged.expected_spread([figure1_seed], theta)
+        a = direct.expected_spread([figure1_seed], 120)
+        b = staged.expected_spread([figure1_seed], 120)
+        assert a == b
+        assert np.array_equal(
+            direct.decrease_estimates([figure1_seed], 120),
+            staged.decrease_estimates([figure1_seed], 120),
+        )
+
+    def test_fixed_seed_reproducible(self, toy):
+        a = SketchIndex(toy, rng=9).expected_spread([figure1_seed], 70)
+        b = SketchIndex(toy, rng=9).expected_spread([figure1_seed], 70)
+        assert a == b
+
+    def test_solver_results_reproducible(self, toy):
+        runs = [
+            advanced_greedy(
+                toy,
+                [figure1_seed],
+                2,
+                theta=100,
+                evaluator=make_evaluator(toy, "sketch", rng=13),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].blockers == runs[1].blockers
+        assert runs[0].estimated_spread == runs[1].estimated_spread
+
+
+class TestLazySelection:
+    def test_supports_marginal_gain_detection(self, toy):
+        assert supports_marginal_gain(make_evaluator(toy, "sketch"))
+        assert not supports_marginal_gain(make_evaluator(toy, "vectorized"))
+        assert not supports_marginal_gain(None)
+
+    def test_celf_matches_exhaustive_greedy_on_coverage(self):
+        # deterministic submodular gains: weighted set cover
+        sets = {
+            0: {1, 2, 3},
+            1: {3, 4},
+            2: {5},
+            3: {1, 2, 3, 4},
+            4: set(),
+        }
+
+        def gain(v, picked):
+            covered = set().union(*(sets[u] for u in picked)) if picked else set()
+            return float(len(sets[v] - covered))
+
+        calls = 0
+
+        def counting_gain(v, picked):
+            nonlocal calls
+            calls += 1
+            return gain(v, picked)
+
+        selection = celf_select(list(sets), 3, counting_gain)
+        # exhaustive greedy: 3 (covers {1,2,3,4}), then 2 (adds {5});
+        # every other set is now fully covered, so selection stops
+        # early despite budget 3
+        assert selection.picks == [3, 2]
+        assert selection.gains == [4.0, 1.0]
+        assert selection.evaluations == calls
+        # lazy must not evaluate more than exhaustive greedy would
+        assert calls <= len(sets) * 3
+
+    def test_lazy_equals_eager_baseline_greedy_on_sketch_worlds(self, toy):
+        sketch = make_evaluator(toy, "sketch", rng=3)
+        lazy = baseline_greedy(
+            toy, [figure1_seed], 2, rounds=200, evaluator=sketch
+        )
+        eager = baseline_greedy(
+            toy, [figure1_seed], 2, rounds=200, evaluator=sketch, lazy=False
+        )
+        assert lazy.blockers == eager.blockers
+        assert lazy.estimated_spread == pytest.approx(
+            eager.estimated_spread, abs=1e-9
+        )
+        assert lazy.evaluations <= eager.evaluations
+
+    def test_table3_budget1_blocks_v5(self, toy):
+        # Example 1 / Table III: at budget 1 the best blocker is v5,
+        # leaving expected spread 3
+        for solver in (advanced_greedy, static_sample_greedy):
+            result = solver(
+                toy,
+                [figure1_seed],
+                1,
+                theta=300,
+                evaluator=make_evaluator(toy, "sketch", rng=7),
+            )
+            assert result.blockers == [V(5)]
+            assert result.estimated_spread == pytest.approx(3.0, abs=0.2)
+        result = greedy_replace(
+            toy,
+            [figure1_seed],
+            1,
+            theta=300,
+            evaluator=make_evaluator(toy, "sketch", rng=7),
+        )
+        assert result.blockers == [V(5)]
+        assert result.estimated_spread == pytest.approx(3.0, abs=0.2)
+
+    def test_table3_budget2_greedy_replace_finds_out_neighbours(self, toy):
+        # Table III: blocking {v2, v4} leaves spread 1 — GR's
+        # replacement phase finds it, plain greedy does not
+        sketch = make_evaluator(toy, "sketch", rng=7)
+        gr = greedy_replace(
+            toy, [figure1_seed], 2, theta=300, evaluator=sketch
+        )
+        assert sorted(gr.blockers) == [V(2), V(4)]
+        assert gr.estimated_spread == pytest.approx(1.0, abs=1e-9)
+        ag = advanced_greedy(
+            toy, [figure1_seed], 2, theta=300, evaluator=sketch
+        )
+        assert gr.estimated_spread <= ag.estimated_spread
+
+    def test_solve_imin_routes_lazy_flag(self, toy):
+        sketch = make_evaluator(toy, "sketch", rng=7)
+        auto = solve_imin(
+            toy, [figure1_seed], 1, algorithm="greedy-replace",
+            theta=200, evaluator=sketch,
+        )
+        forced = solve_imin(
+            toy, [figure1_seed], 1, algorithm="greedy-replace",
+            theta=200, evaluator=sketch, lazy=True,
+        )
+        assert auto.blockers == forced.blockers == [V(5)]
+
+    def test_forced_lazy_works_with_mc_evaluator(self, toy):
+        # the CELF machinery is evaluator-agnostic: forcing lazy on a
+        # backend without marginal_gain uses the two-query fallback
+        vec = make_evaluator(toy, "vectorized", rng=5)
+        result = advanced_greedy(
+            toy, [figure1_seed], 1, theta=400, evaluator=vec, lazy=True
+        )
+        assert result.blockers == [V(5)]
+
+    def test_lazy_requires_evaluator(self, toy):
+        for solver in (advanced_greedy, static_sample_greedy, greedy_replace):
+            with pytest.raises(ValueError, match="requires an evaluator"):
+                solver(toy, [figure1_seed], 1, lazy=True)
+
+    def test_lazy_rejects_sampler_factory(self, toy):
+        sketch = make_evaluator(toy, "sketch", rng=7)
+        with pytest.raises(ValueError, match="sampler_factory"):
+            advanced_greedy(
+                toy,
+                [figure1_seed],
+                1,
+                evaluator=sketch,
+                sampler_factory=lambda graph, rng: ICSampler(graph, rng),
+            )
+
+    def test_budget_zero(self, toy):
+        sketch = make_evaluator(toy, "sketch", rng=7)
+        result = advanced_greedy(
+            toy, [figure1_seed], 0, theta=100, evaluator=sketch
+        )
+        assert result.blockers == []
+        assert result.estimated_spread == pytest.approx(
+            sketch.expected_spread([figure1_seed], 100)
+        )
+
+    def test_make_gain_fn_fallback_caches_current_spread(self, toy):
+        calls = []
+
+        class Spy:
+            csr = make_evaluator(toy, "scalar").csr
+
+            def expected_spread(self, seeds, rounds, blocked=()):
+                calls.append(tuple(blocked))
+                return float(10 - len(tuple(blocked)))
+
+        gain = make_gain_fn(Spy(), [figure1_seed], 50)
+        assert gain(V(2), []) == pytest.approx(1.0)
+        assert gain(V(4), []) == pytest.approx(1.0)
+        # the base spread for picked=() was computed once, not twice
+        assert calls.count(()) == 1
+
+
+class TestGuards:
+    def test_seed_cannot_be_blocked(self, toy):
+        sketch = make_evaluator(toy, "sketch", rng=7)
+        with pytest.raises(ValueError, match="cannot be blocked"):
+            sketch.expected_spread([figure1_seed], 50, [figure1_seed])
+
+    def test_seed_out_of_range(self, toy):
+        sketch = make_evaluator(toy, "sketch", rng=7)
+        with pytest.raises(IndexError):
+            sketch.expected_spread([toy.n], 50)
+
+    def test_theta_must_be_positive(self, toy):
+        sketch = make_evaluator(toy, "sketch", rng=7)
+        with pytest.raises(ValueError, match="theta"):
+            sketch.expected_spread([figure1_seed], 0)
+        with pytest.raises(ValueError, match="seed"):
+            sketch.expected_spread([], 50)
+
+    def test_stats_track_incremental_rebase(self, toy):
+        sketch = make_evaluator(toy, "sketch", rng=7)
+        theta = 100
+        sketch.expected_spread([figure1_seed], theta)
+        assert sketch.stats.trees_built == theta
+        # v8 is reachable only through probabilistic edges, so blocking
+        # it leaves the samples where it never activated untouched
+        sketch.expected_spread([figure1_seed], theta, [V(8)])
+        assert sketch.stats.samples_skipped > 0
+        assert sketch.stats.trees_built < 2 * theta
+
+
+class TestResolveTheta:
+    def test_explicit_theta_wins(self):
+        assert resolve_theta(100, theta=42) == 42
+
+    def test_epsilon_maps_through_required_samples(self):
+        expected = required_samples(100, 0.2, 1.0, confidence_exponent=2.0)
+        assert resolve_theta(100, epsilon=0.2, ell=2.0) == expected
+
+    def test_max_theta_caps_the_bound(self):
+        assert resolve_theta(100, epsilon=0.1, max_theta=500) == 500
+
+    def test_conflicting_arguments_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_theta(100, theta=10, epsilon=0.1)
+        with pytest.raises(ValueError):
+            resolve_theta(100)
+        with pytest.raises(ValueError):
+            resolve_theta(100, theta=0)
