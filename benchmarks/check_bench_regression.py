@@ -1,18 +1,28 @@
-"""CI benchmark-regression gate over ``BENCH_engine.json``.
+"""CI benchmark-regression gate over the committed ``BENCH_*.json``.
 
-Compares a freshly measured engine-throughput report (written by
-``bench_engine_throughput.py --json``) against the committed baseline
-and fails when any backend regressed by more than the tolerance.
+Compares a freshly measured report against the committed baseline and
+fails when any gated metric regressed by more than the tolerance.  Two
+report kinds, auto-detected:
 
-The gated metric is ``speedup_vs_scalar`` — each backend's throughput
-normalized by the scalar reference *measured in the same run*.  Raw
-ms/round numbers differ wildly between the machine that committed the
-baseline and the CI runner; the normalized ratio cancels machine speed
-and isolates genuine engine regressions (a kernel slowdown, a cache
-that stopped hitting, an accidental O(n) in the hot path).
+``BENCH_engine.json`` (``bench_engine_throughput.py --json``)
+    Gates ``speedup_vs_scalar`` per backend — each backend's
+    throughput normalized by the scalar reference *measured in the
+    same run*.
+``BENCH_service.json`` (``bench_service_latency.py --json``)
+    Gates ``warm_speedup_vs_cold_inprocess`` — warm served-query
+    latency normalized by the cold in-process build+query cost
+    measured in the same run, i.e. the serving layer's whole reason
+    to exist (the CLI-relative speedup is reported, not gated: its
+    numerator includes interpreter startup).
+
+In both cases the gated number is a *ratio of two same-run
+measurements*: raw ms differ wildly between the machine that committed
+the baseline and the CI runner, while the ratio cancels machine speed
+and isolates genuine regressions (a kernel slowdown, a cache that
+stopped hitting, an accidental O(n) in the hot path).
 
 Exit codes: 0 pass, 1 regression, 2 unusable input (missing file,
-parameter mismatch between the runs).
+kind or parameter mismatch between the runs).
 
 Usage::
 
@@ -20,6 +30,10 @@ Usage::
         --workers 2 --json BENCH_engine.json
     python benchmarks/check_bench_regression.py BENCH_engine.json \\
         --baseline benchmarks/BENCH_engine.json --tolerance 0.25
+
+    python benchmarks/bench_service_latency.py --json BENCH_service.json
+    python benchmarks/check_bench_regression.py BENCH_service.json \\
+        --baseline benchmarks/BENCH_service.json --tolerance 0.25
 """
 
 from __future__ import annotations
@@ -29,7 +43,7 @@ import json
 import sys
 from pathlib import Path
 
-# parameters that must match for the two reports to be comparable —
+# parameters that must match for two engine reports to be comparable —
 # including the extrapolation caps and repeat count, which change the
 # measured statistic (per-round noise floor) even at identical sizes
 _IDENTITY_PARAMS = (
@@ -44,10 +58,31 @@ _IDENTITY_PARAMS = (
     "repeats",
 )
 
+# every parameter of a service report shapes its latency distribution
+_SERVICE_IDENTITY_PARAMS = (
+    "dataset",
+    "scale",
+    "model",
+    "theta",
+    "seed",
+    "num_seeds",
+    "cold_repeats",
+    "clients",
+    "queries_per_client",
+)
+
 
 def _die(message: str) -> None:
     print(message, file=sys.stderr)
     raise SystemExit(2)
+
+
+def report_kind(report: dict) -> str | None:
+    if "backends" in report:
+        return "engine"
+    if "warm_speedup_vs_cold" in report:
+        return "service"
+    return None
 
 
 def load_report(path: str | Path) -> dict:
@@ -56,23 +91,22 @@ def load_report(path: str | Path) -> dict:
         _die(f"error: no such report: {path}")
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
-    if "backends" not in report:
-        _die(f"error: {path} is not a BENCH_engine.json report")
+    if report_kind(report) is None:
+        _die(
+            f"error: {path} is neither a BENCH_engine.json nor a "
+            "BENCH_service.json report"
+        )
     return report
 
 
-def compare(
-    current: dict, baseline: dict, tolerance: float
-) -> tuple[list[str], list[str]]:
-    """Returns ``(failures, lines)`` — regressions and the full log."""
-    failures: list[str] = []
-    lines: list[str] = []
-
+def _check_params(
+    current: dict, baseline: dict, identity: tuple[str, ...]
+) -> None:
     cur_params = current.get("params", {})
     base_params = baseline.get("params", {})
     mismatched = [
         key
-        for key in _IDENTITY_PARAMS
+        for key in identity
         if cur_params.get(key) != base_params.get(key)
     ]
     if mismatched:
@@ -83,6 +117,16 @@ def compare(
                 for k in mismatched
             )
         )
+
+
+def compare(
+    current: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Returns ``(failures, lines)`` — regressions and the full log."""
+    failures: list[str] = []
+    lines: list[str] = []
+
+    _check_params(current, baseline, _IDENTITY_PARAMS)
 
     base_backends = baseline["backends"]
     cur_backends = current["backends"]
@@ -112,6 +156,36 @@ def compare(
     return failures, lines
 
 
+def compare_service(
+    current: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Service-report gate vs the baseline.
+
+    Gates ``warm_speedup_vs_cold_inprocess``: both sides of that ratio
+    are numpy compute in one process, so machine speed cancels.  The
+    CLI-relative speedup is reported but not gated — its numerator is
+    part interpreter startup, which scales differently across runners.
+    """
+    _check_params(current, baseline, _SERVICE_IDENTITY_PARAMS)
+    metric = "warm_speedup_vs_cold_inprocess"
+    base_speed = float(baseline[metric])
+    cur_speed = float(current[metric])
+    floor = (1.0 - tolerance) * base_speed
+    verdict = "ok" if cur_speed >= floor else "FAIL"
+    lines = [
+        f"{verdict:<5}{metric:<30} baseline "
+        f"{base_speed:7.2f}x  current {cur_speed:7.2f}x  "
+        f"floor {floor:7.2f}x",
+        "      vs cold CLI "
+        f"{current.get('warm_speedup_vs_cold', '?')}x, warm qps "
+        f"{current.get('warm', {}).get('qps', '?')} "
+        f"(baseline {baseline.get('warm', {}).get('qps', '?')}; "
+        "informational, not gated)",
+    ]
+    failures = [] if cur_speed >= floor else [metric]
+    return failures, lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly measured BENCH_engine.json")
@@ -132,17 +206,30 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     current = load_report(args.current)
     baseline = load_report(args.baseline)
-    failures, lines = compare(current, baseline, args.tolerance)
+    kind = report_kind(current)
+    if kind != report_kind(baseline):
+        _die(
+            f"error: report kinds differ — current is {kind}, baseline "
+            f"is {report_kind(baseline)}"
+        )
+    if kind == "service":
+        failures, lines = compare_service(
+            current, baseline, args.tolerance
+        )
+        metric = "warm speedup vs cold"
+    else:
+        failures, lines = compare(current, baseline, args.tolerance)
+        metric = "speedup vs scalar"
     print(
         f"benchmark-regression gate (tolerance "
-        f"{args.tolerance:.0%} on speedup vs scalar)"
+        f"{args.tolerance:.0%} on {metric})"
     )
     for line in lines:
         print(" ", line)
     if failures:
-        print(f"regressed backends: {', '.join(failures)}")
+        print(f"regressed metrics: {', '.join(failures)}")
         return 1
-    print("all backends within tolerance")
+    print("all gated metrics within tolerance")
     return 0
 
 

@@ -52,6 +52,11 @@ Package map
     The Figure 1 toy graph, synthetic SNAP stand-ins, subgraph tools.
 ``repro.bench``
     Experiment harness shared by the ``benchmarks/`` suite.
+``repro.service``
+    The long-lived blocker-query service: named-graph registry, LRU
+    cache of warm ``(SamplePool, SketchIndex)`` artifacts, threaded
+    TCP/JSON-lines server with request coalescing, and the matching
+    client (``repro-imin serve`` / ``repro-imin query``).
 """
 
 from .core import (

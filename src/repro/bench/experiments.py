@@ -118,6 +118,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "dominator-tree sketch index vs vectorized Monte Carlo",
             "bench_sketch_vs_mc.py",
         ),
+        Experiment(
+            "service-latency", "(extension)",
+            "warm repro.service queries vs cold single-shot CLI",
+            "bench_service_latency.py",
+        ),
     )
 }
 

@@ -8,6 +8,10 @@ Subcommands
     Run a blocking algorithm on a dataset and print blockers + spread.
 ``spread``
     Estimate the expected spread of a seed set (optionally blocked).
+``serve``
+    Run the long-lived blocker-query service (``repro.service``).
+``query``
+    Send one request to a running service and print the JSON reply.
 
 Examples
 --------
@@ -17,18 +21,23 @@ Examples
     repro-imin block --dataset email-core --model tr --budget 10 \\
         --algorithm gr --theta 200 --seeds 5 --rng 7
     repro-imin spread --dataset facebook --model wc --seeds 3 --rng 1
+    repro-imin serve --port 7727 &
+    repro-imin query block --graph toy --budget 2
+    repro-imin query shutdown
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 import time
 
 from .bench import evaluate_spread, pick_seeds, prepare_graph
 from .core import ALGORITHMS, solve_imin
 from .datasets import DATASETS, load_dataset
-from .engine import BACKENDS, make_evaluator
+from .engine import BACKENDS, build_evaluator
 from .sampling import estimate_spread_sampled, resolve_theta
 
 __all__ = ["main", "build_parser"]
@@ -102,6 +111,94 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="experiment id (omit to list all)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived blocker-query service (repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: 7727; 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor for the registered dataset stand-ins",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=8,
+        help="max resident warm artifacts (LRU beyond; default: 8)",
+    )
+    serve.add_argument(
+        "--cache-mb", type=float, default=None,
+        help="max resident sample-pool megabytes (LRU beyond)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "persist sample pools here so evicted artifacts rehydrate "
+            "from disk (mmapped)"
+        ),
+    )
+    serve.add_argument(
+        "--edge-list",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help=(
+            "register a SNAP edge-list file (.gz accepted) under NAME; "
+            "repeatable"
+        ),
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="send one request to a running service, print the JSON reply",
+    )
+    query.add_argument(
+        "op",
+        choices=(
+            "ping", "graphs", "stats", "warm", "spread", "block",
+            "shutdown",
+        ),
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port of the service (default: 7727)",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="socket timeout in seconds (default: 60)",
+    )
+    query.add_argument("--graph", default=None, help="registered graph name")
+    query.add_argument("--model", choices=("tr", "wc"), default=None)
+    query.add_argument("--theta", type=int, default=None)
+    query.add_argument(
+        "--seed", type=int, default=None,
+        help="artifact seed: keys the samples and the TR assignment",
+    )
+    query.add_argument(
+        "--seeds", type=int, nargs="*", default=None,
+        help="explicit seed vertex ids (default: server-picked)",
+    )
+    query.add_argument(
+        "--num-seeds", type=int, default=None,
+        help="how many seeds the server should pick",
+    )
+    query.add_argument(
+        "--blocked", type=int, nargs="*", default=None,
+        help="blocked vertex ids (spread op)",
+    )
+    query.add_argument("--budget", type=int, default=None)
+    query.add_argument(
+        "--algorithm", choices=ALGORITHMS, default=None,
+        help="blocking algorithm (block op)",
+    )
+    query.add_argument(
+        "--rng", type=int, default=None,
+        help="algorithm RNG seed (block op; default: artifact seed)",
+    )
     return parser
 
 
@@ -174,6 +271,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_spread(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -231,10 +332,12 @@ _SHORT_NAMES = {
 def _make_engine(args, graph, stream: int = 0):
     """The injected evaluator, or None for the historical default.
 
-    ``stream`` derives independent RNG streams from ``--rng`` so the
-    selection loop and the final quality evaluation never share random
-    worlds (with the pooled backend, sharing would score the winner on
-    the very samples that selected it).
+    A thin shell over :func:`repro.engine.build_evaluator` (shared
+    with the serving layer), which owns the stream discipline: the
+    selection loop and the final quality evaluation get independent
+    RNG streams from ``--rng`` so they never share random worlds (with
+    the pooled backend, sharing would score the winner on the very
+    samples that selected it).
     """
     if args.workers is not None:
         if args.workers < 1:
@@ -245,11 +348,9 @@ def _make_engine(args, graph, stream: int = 0):
             raise SystemExit(2)
     if args.engine == "scalar":
         return None
-    import numpy as np
-
-    rng = np.random.default_rng(np.random.SeedSequence((args.rng, stream)))
-    return make_evaluator(
-        graph, args.engine, rng=rng, workers=args.workers
+    return build_evaluator(
+        graph, args.engine, rng=args.rng, stream=stream,
+        workers=args.workers,
     )
 
 
@@ -261,32 +362,34 @@ def _cmd_block(args) -> int:
     )
     algorithm = _SHORT_NAMES.get(args.algorithm, args.algorithm)
     theta = _resolve_theta(args, graph, default=200)
-    selector = _make_engine(args, graph, stream=0)
-    start = time.perf_counter()
-    blockers = solve_imin(
-        graph,
-        seeds,
-        args.budget,
-        algorithm=algorithm,
-        theta=theta,
-        mcs_rounds=args.mcs_rounds,
-        rng=args.rng,
-        evaluator=selector,
-    ).blockers
-    elapsed = time.perf_counter() - start
-    # final quality is judged by a separate evaluator stream so the
-    # selection's random worlds are never reused to score their winner
-    judge = _make_engine(args, graph, stream=1)
-    spread = evaluate_spread(
-        graph, seeds, blockers, rng=args.rng, evaluator=judge
-    )
-    unblocked = evaluate_spread(
-        graph, seeds, [], rng=args.rng, evaluator=judge
-    )
-    for engine in (selector, judge):
-        close = getattr(engine, "close", None)
-        if close is not None:
-            close()
+    with contextlib.ExitStack() as stack:
+        selector = _make_engine(args, graph, stream=0)
+        if selector is not None:
+            stack.enter_context(selector)
+        start = time.perf_counter()
+        blockers = solve_imin(
+            graph,
+            seeds,
+            args.budget,
+            algorithm=algorithm,
+            theta=theta,
+            mcs_rounds=args.mcs_rounds,
+            rng=args.rng,
+            evaluator=selector,
+        ).blockers
+        elapsed = time.perf_counter() - start
+        # final quality is judged by a separate evaluator stream so the
+        # selection's random worlds are never reused to score their
+        # winner
+        judge = _make_engine(args, graph, stream=1)
+        if judge is not None:
+            stack.enter_context(judge)
+        spread = evaluate_spread(
+            graph, seeds, blockers, rng=args.rng, evaluator=judge
+        )
+        unblocked = evaluate_spread(
+            graph, seeds, [], rng=args.rng, evaluator=judge
+        )
     print(f"algorithm={args.algorithm} time={elapsed:.3f}s")
     print(f"blockers={sorted(blockers)}")
     print(
@@ -308,10 +411,8 @@ def _cmd_spread(args) -> int:
     theta = _resolve_theta(args, graph, default=2000)
     evaluator = _make_engine(args, graph)
     if evaluator is not None:
-        mean = evaluator.expected_spread(seeds, theta, blocked)
-        close = getattr(evaluator, "close", None)
-        if close is not None:
-            close()
+        with evaluator:
+            mean = evaluator.expected_spread(seeds, theta, blocked)
         print(
             f"expected spread = {mean:.3f} "
             f"(engine={args.engine}, rounds={theta})"
@@ -326,6 +427,77 @@ def _cmd_spread(args) -> int:
         f"(95% CI [{low:.3f}, {high:.3f}], theta={estimate.theta})"
     )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import (
+        ArtifactCache,
+        BlockerService,
+        default_registry,
+        DEFAULT_PORT,
+        serve,
+    )
+
+    registry = default_registry(scale=args.scale)
+    for spec in args.edge_list:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"error: --edge-list expects NAME=PATH, got {spec!r}")
+            return 2
+        registry.register_edge_list(name, path)
+    max_bytes = (
+        None if args.cache_mb is None else int(args.cache_mb * 2**20)
+    )
+    cache = ArtifactCache(
+        registry,
+        max_entries=args.cache_entries,
+        max_bytes=max_bytes,
+        cache_dir=args.cache_dir,
+    )
+    service = BlockerService(registry=registry, cache=cache)
+    port = DEFAULT_PORT if args.port is None else args.port
+    server = serve(host=args.host, port=port, service=service)
+    host, port = server.server_address[:2]
+    print(f"repro.service listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+    print("repro.service stopped")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .service import DEFAULT_PORT, ServiceClient, ServiceError
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    client = ServiceClient(args.host, port, timeout=args.timeout)
+    params = {
+        "graph": args.graph,
+        "model": args.model,
+        "theta": args.theta,
+        "seed": args.seed,
+        "seeds": args.seeds,
+        "num_seeds": args.num_seeds,
+        "blocked": args.blocked,
+        "budget": args.budget,
+        "algorithm": args.algorithm,
+        "rng": args.rng,
+    }
+    try:
+        with client:
+            response = client.request(args.op, **params)
+    except (OSError, ServiceError) as error:
+        print(
+            json.dumps(
+                {"ok": False, "error": f"{error}"}, indent=2
+            )
+        )
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
 
 
 def _cmd_experiment(args) -> int:

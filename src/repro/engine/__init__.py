@@ -30,6 +30,7 @@ Algorithms and the benchmark harness accept any
 
 from .evaluator import (
     BACKENDS,
+    build_evaluator,
     make_evaluator,
     PooledEvaluator,
     ScalarEvaluator,
@@ -57,6 +58,7 @@ __all__ = [
     "PooledEvaluator",
     "BACKENDS",
     "make_evaluator",
+    "build_evaluator",
     "batch_cascades",
     "batch_spread",
     "batch_activation_counts",

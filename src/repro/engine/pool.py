@@ -165,6 +165,11 @@ class SamplePool:
         """Number of samples currently materialised."""
         return self._theta
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the materialised sample arrays."""
+        return int(self._offsets.nbytes + self._positions.nbytes)
+
     def get(self, theta: int) -> SampleBatch:
         """A batch of the pool's first ``theta`` samples.
 

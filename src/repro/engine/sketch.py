@@ -258,18 +258,28 @@ class SketchIndex:
             if not 0 <= s < self.csr.n:
                 raise IndexError(f"seed {s} is not a vertex")
         key = (seed_tuple, theta)
-        view = self._views.get(key)
+        # pop-then-reinsert both refreshes LRU recency and stays safe
+        # against a concurrent close() clearing the dict between the
+        # lookup and the refresh (the serving layer's eviction path)
+        view = self._views.pop(key, None)
         if view is None:
             view = _SketchView(
                 self.csr, self.pool.get(theta), seed_tuple, self.stats
             )
-            self._views[key] = view
-            while len(self._views) > _MAX_VIEWS:
-                self._views.pop(next(iter(self._views)))
-        else:
-            # LRU refresh
-            self._views[key] = self._views.pop(key)
+        self._views[key] = view
+        while len(self._views) > _MAX_VIEWS:
+            self._views.pop(next(iter(self._views)))
         return view
+
+    def close(self) -> None:
+        """Drop the cached views (and join the evaluator lifecycle)."""
+        self._views.clear()
+
+    def __enter__(self) -> "SketchIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _blocked_set(
         self, seeds: Sequence[int], blocked: Iterable[int]

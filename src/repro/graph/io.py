@@ -3,11 +3,14 @@
 SNAP distributes graphs as whitespace-separated edge lists with ``#``
 comments; :func:`read_edge_list` accepts that format (with or without a
 third probability column) and relabels arbitrary vertex ids to the
-contiguous ``0 .. n-1`` range the library requires.
+contiguous ``0 .. n-1`` range the library requires.  Paths ending in
+``.gz`` are decompressed transparently, so SNAP downloads can be
+registered with the service without manual decompression.
 """
 
 from __future__ import annotations
 
+import gzip
 from pathlib import Path
 from typing import TextIO, Union
 
@@ -31,10 +34,13 @@ def read_edge_list(
     Returns ``(graph, id_map)`` where ``id_map`` maps original vertex
     labels to the new contiguous ids.  Lines starting with ``#`` are
     comments; each data line is ``u v`` or ``u v p``.  When
-    ``directed=False`` both directions of every edge are added.
+    ``directed=False`` both directions of every edge are added.  A
+    path with a ``.gz`` suffix is opened through :mod:`gzip`.
     """
     if isinstance(path_or_file, (str, Path)):
-        with open(path_or_file, "r", encoding="utf-8") as handle:
+        path = Path(path_or_file)
+        opener = gzip.open if path.suffix == ".gz" else open
+        with opener(path, "rt", encoding="utf-8") as handle:
             return read_edge_list(handle, directed, default_probability)
 
     rows: list[tuple[int, int, float]] = []

@@ -1,0 +1,53 @@
+"""repro.service — the long-lived blocker-query serving layer.
+
+The engine (PR 1) made spread evaluation fast in-process and the
+sketch index (PR 2) made marginal gains O(1) after a one-time build —
+but a CLI invocation still pays the full load -> sample -> index cost
+before answering a single query.  This subsystem keeps those expensive
+artifacts resident and serves many queries against them:
+
+:mod:`repro.service.registry`
+    Named-graph registry: datasets, the toy graph and (optionally
+    gzip-compressed) SNAP edge lists resolved by name, loaded lazily.
+:mod:`repro.service.cache`
+    Size-bounded LRU of warm ``(SamplePool, SketchIndex)`` artifacts
+    keyed by ``(graph, model, theta, seed)``, with hit/miss/eviction
+    stats and disk rehydration through the pool's persistence.
+:mod:`repro.service.server`
+    Threaded TCP/JSON-lines server (stdlib only) exposing ``block``,
+    ``spread``, ``warm``, ``stats`` and ``graphs``, with per-artifact
+    request coalescing: concurrent spread queries against one artifact
+    collapse into one vectorized engine call.
+:mod:`repro.service.client`
+    The matching client; ``repro-imin serve`` / ``repro-imin query``
+    make the CLI a thin shell around both.
+"""
+
+from .cache import Artifact, ArtifactCache, ArtifactKey, CacheStats
+from .client import DEFAULT_PORT, ServiceClient, ServiceError
+from .registry import default_registry, GraphEntry, GraphRegistry
+from .server import (
+    BlockerService,
+    RequestError,
+    serve,
+    ServiceServer,
+    ServiceStats,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "ArtifactKey",
+    "CacheStats",
+    "GraphEntry",
+    "GraphRegistry",
+    "default_registry",
+    "BlockerService",
+    "RequestError",
+    "ServiceServer",
+    "ServiceStats",
+    "serve",
+    "ServiceClient",
+    "ServiceError",
+    "DEFAULT_PORT",
+]

@@ -1,0 +1,361 @@
+"""Size-bounded LRU cache of warm serving artifacts.
+
+A *serving artifact* is everything the engine needs resident to answer
+blocker/spread queries instantly: the model-prepared graph frozen to
+CSR, a materialised :class:`~repro.engine.pool.SamplePool` of
+``theta`` live-edge samples, a pooled Monte-Carlo evaluator over those
+samples (used for spread queries — common random numbers across every
+query), and a :class:`~repro.engine.sketch.SketchIndex` sharing the
+same pool (used for blocker selection — O(1) marginal gains).
+
+Artifacts are keyed by :class:`ArtifactKey` ``(graph, model, theta,
+seed)`` and built deterministically from the key: the same key always
+yields bit-identical samples and therefore bit-identical answers,
+which is what makes cache hits *semantically* transparent, not just
+faster.
+
+The cache is bounded by entry count and bytes; eviction is LRU.  With
+a ``cache_dir`` the pools persist through ``repro.engine.pool``'s
+``.npy`` snapshots, so evicting an artifact only drops memory — a
+later rebuild of the same key re-attaches the samples memory-mapped
+instead of re-drawing them (counted in ``stats.rehydrations``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..bench import pick_seeds, prepare_graph
+from ..core import solve_imin
+from ..engine import build_evaluator, SamplePool
+from .registry import GraphRegistry
+
+__all__ = ["Artifact", "ArtifactCache", "ArtifactKey", "CacheStats"]
+
+
+@dataclass(frozen=True, order=True)
+class ArtifactKey:
+    """Identity of one warm artifact: what was sampled, and how."""
+
+    graph: str
+    model: str
+    theta: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.theta <= 0:
+            raise ValueError("theta must be positive")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "graph": self.graph,
+            "model": self.model,
+            "theta": self.theta,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class CacheStats:
+    """Observability counters for an :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    evictions: int = 0
+    rehydrations: int = 0
+    """Builds that re-attached a persisted pool instead of sampling."""
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "evictions": self.evictions,
+            "rehydrations": self.rehydrations,
+        }
+
+
+class Artifact:
+    """One warm ``(graph, model, theta, seed)`` serving state.
+
+    All query methods serialise on an internal lock: the pooled
+    evaluator and the sketch index share mutable state (the growing
+    pool, the rebased trees), and answers must be independent of
+    request interleaving — the concurrency contract the service's
+    tests pin down.  Results are pure functions of the key and the
+    query parameters.
+    """
+
+    def __init__(
+        self,
+        key: ArtifactKey,
+        graph,
+        cache_dir=None,
+    ) -> None:
+        self.key = key
+        self.graph = graph
+        self.pool = SamplePool(
+            graph,
+            rng=key.seed,
+            cache_dir=cache_dir,
+            cache_key=f"service-seed{key.seed}",
+        )
+        self.pooled = build_evaluator(graph, "pooled", pool=self.pool)
+        self.sketch = build_evaluator(graph, "sketch", pool=self.pool)
+        # final quality in block() is judged on an *independent* sample
+        # stream (same discipline as the CLI's stream-0/stream-1 split):
+        # judging on the selection pool would score the winning blocker
+        # set on the very samples that selected it, biasing the
+        # reported spread optimistically.  The judge pool draws lazily
+        # on the first block query — spread-only workloads never pay it.
+        self.judge = build_evaluator(
+            graph, "pooled", rng=key.seed, stream=1, cache_dir=cache_dir
+        )
+        self.csr = self.pool.csr
+        self.built_at = time.time()
+        self._lock = threading.RLock()
+        # materialise (or mmap-attach) the samples up front: the cache
+        # hands out *warm* artifacts, never lazily-cold ones
+        self.pool.get(key.theta)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def default_seeds(self, count: int) -> list[int]:
+        """The seed vertices a request gets when it names none.
+
+        Derived from the artifact seed exactly like the CLI derives
+        them from ``--rng``, so service answers line up with
+        single-shot CLI runs on the same parameters.
+        """
+        return pick_seeds(self.graph, count, rng=self.key.seed)
+
+    def spread(
+        self,
+        seeds: Sequence[int],
+        blocked: Iterable[int] = (),
+        theta: int | None = None,
+    ) -> float:
+        return self.spread_many(seeds, [list(blocked)], theta)[0]
+
+    def spread_many(
+        self,
+        seeds: Sequence[int],
+        blocked_sets: Sequence[Iterable[int]],
+        theta: int | None = None,
+    ) -> list[float]:
+        """Pooled estimates for many blocked sets in one traversal.
+
+        This is the call the server's request coalescing funnels into:
+        bit-identical to evaluating each blocked set alone (same
+        samples, same chunking), but the per-chunk aliveness matrix is
+        materialised once for the whole batch.
+        """
+        with self._lock:
+            return self.pooled.expected_spread_many(
+                seeds, theta or self.key.theta, blocked_sets
+            )
+
+    def block(
+        self,
+        seeds: Sequence[int],
+        budget: int,
+        algorithm: str = "greedy-replace",
+        theta: int | None = None,
+        rng: int | None = None,
+    ) -> dict[str, object]:
+        """Select blockers against the warm sketch index.
+
+        Returns blockers plus before/after spread estimates from the
+        independent judge pool — common random numbers between the two
+        estimates (the delta is noise-cancelled) but a different
+        stream than the selection, so the winner is never scored on
+        the samples that picked it.
+        """
+        theta = theta or self.key.theta
+        rng = self.key.seed if rng is None else rng
+        with self._lock:
+            start = time.perf_counter()
+            result = solve_imin(
+                self.graph,
+                list(seeds),
+                budget,
+                algorithm=algorithm,
+                theta=theta,
+                rng=rng,
+                evaluator=self.sketch,
+            )
+            elapsed = time.perf_counter() - start
+            unblocked, blocked = self.judge.expected_spread_many(
+                seeds, theta, [[], list(result.blockers)]
+            )
+        return {
+            "algorithm": result.algorithm,
+            "blockers": sorted(result.blockers),
+            "spread_unblocked": unblocked,
+            "spread_blocked": blocked,
+            "elapsed_seconds": elapsed,
+        }
+
+    def warm_sketch(self, seeds: Sequence[int], theta: int | None = None):
+        """Pre-build the sketch view for a seed set (the cold half of a
+        first ``block`` query)."""
+        with self._lock:
+            self.sketch.expected_spread(seeds, theta or self.key.theta)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Resident size estimate: both pools' sample arrays."""
+        return self.pool.nbytes + self.judge.pool.nbytes
+
+    def describe(self) -> dict[str, object]:
+        return {
+            **self.key.as_dict(),
+            "n": self.csr.n,
+            "m": self.csr.m,
+            "nbytes": self.nbytes,
+            "pool": self.pool.stats.as_dict(),
+            "sketch": self.sketch.stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        # taken under the artifact lock: an eviction must not clear
+        # the sketch's view cache out from under an in-flight query
+        with self._lock:
+            self.sketch.close()
+            self.pooled.close()
+            self.judge.close()
+
+
+class ArtifactCache:
+    """Thread-safe LRU of :class:`Artifact` bounded by entries/bytes.
+
+    ``get`` either returns the resident artifact (a *hit*, refreshing
+    its recency) or builds it (a *miss*).  Builds of the same key are
+    single-flight: concurrent requesters block on a per-key build lock
+    and share the one build instead of duplicating the most expensive
+    operation the service performs.
+    """
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        max_entries: int = 8,
+        max_bytes: int | None = None,
+        cache_dir=None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.registry = registry
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.cache_dir = cache_dir
+        self.stats = CacheStats()
+        self.on_evict: "Callable[[ArtifactKey, Artifact], None] | None" = (
+            None
+        )
+        """Hook invoked (before the artifact closes) for every
+        eviction — the serving layer uses it to retire the evicted
+        artifact's executor thread so the cache's memory bound holds."""
+        self._artifacts: OrderedDict[ArtifactKey, Artifact] = OrderedDict()
+        self._building: dict[ArtifactKey, threading.Lock] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, key: ArtifactKey) -> Artifact:
+        with self._lock:
+            artifact = self._artifacts.get(key)
+            if artifact is not None:
+                self._artifacts.move_to_end(key)
+                self.stats.hits += 1
+                return artifact
+            self.stats.misses += 1
+            build_lock = self._building.setdefault(key, threading.Lock())
+        with build_lock:
+            with self._lock:
+                artifact = self._artifacts.get(key)
+                if artifact is not None:  # built by the flight we joined
+                    self._artifacts.move_to_end(key)
+                    return artifact
+            try:
+                artifact = self._build(key)
+            finally:
+                # drop the single-flight entry on failure too, or a
+                # permanently failing key grows the dict forever
+                with self._lock:
+                    self._building.pop(key, None)
+            with self._lock:
+                self._artifacts[key] = artifact
+                self._shrink()
+            return artifact
+
+    def _build(self, key: ArtifactKey) -> Artifact:
+        raw = self.registry.get(key.graph)
+        # prepare on a copy: the registry's raw graph is shared by
+        # every (model, seed) variant and must stay probability-free
+        prepared = prepare_graph(raw.copy(), key.model, rng=key.seed)
+        artifact = Artifact(key, prepared, cache_dir=self.cache_dir)
+        self.stats.builds += 1
+        if artifact.pool.stats.disk_loads:
+            self.stats.rehydrations += 1
+        return artifact
+
+    def _shrink(self) -> None:
+        # never evict below one entry: the key just inserted must
+        # survive its own insertion even if it alone exceeds max_bytes
+        while len(self._artifacts) > 1 and (
+            len(self._artifacts) > self.max_entries
+            or (
+                self.max_bytes is not None
+                and self._total_bytes() > self.max_bytes
+            )
+        ):
+            evicted_key, evicted = self._artifacts.popitem(last=False)
+            if self.on_evict is not None:
+                self.on_evict(evicted_key, evicted)
+            evicted.close()
+            self.stats.evictions += 1
+
+    def _total_bytes(self) -> int:
+        return sum(a.nbytes for a in self._artifacts.values())
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def keys(self) -> list[ArtifactKey]:
+        with self._lock:
+            return list(self._artifacts)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._artifacts)
+
+    def describe(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self._artifacts),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "total_bytes": self._total_bytes(),
+                "stats": self.stats.as_dict(),
+                "artifacts": [
+                    artifact.describe()
+                    for artifact in self._artifacts.values()
+                ],
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            for artifact in self._artifacts.values():
+                artifact.close()
+            self._artifacts.clear()

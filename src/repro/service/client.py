@@ -1,0 +1,142 @@
+"""JSON-lines client for the blocker-query service.
+
+:class:`ServiceClient` keeps one TCP connection and pipelines requests
+over it; `repro-imin query` is a thin shell around it.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+__all__ = ["DEFAULT_PORT", "ServiceClient", "ServiceError"]
+
+DEFAULT_PORT = 7727
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``{"ok": false}`` (or not at all)."""
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.ServiceServer`.
+
+    Usable as a context manager; the connection is opened lazily on
+    the first request and survives any number of them.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._reader = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._reader.close()
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+        self._sock = None
+        self._reader = None
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+    def request(self, op: str, **params) -> dict:
+        """Send one request; return the full response envelope."""
+        self.connect()
+        payload = {"op": op}
+        payload.update(
+            (k, v) for k, v in params.items() if v is not None
+        )
+        self._sock.sendall(
+            json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        )
+        line = self._reader.readline()
+        if not line:
+            self.close()
+            raise ServiceError(
+                f"server at {self.host}:{self.port} closed the connection"
+            )
+        return json.loads(line)
+
+    def call(self, op: str, **params):
+        """Send one request; return its ``result`` or raise."""
+        response = self.request(op, **params)
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "unspecified server error")
+            )
+        return response.get("result")
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return self.call("ping") == "pong"
+
+    def graphs(self) -> list[dict]:
+        return self.call("graphs")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def warm(self, **params) -> dict:
+        return self.call("warm", **params)
+
+    def spread(self, **params) -> dict:
+        return self.call("spread", **params)
+
+    def block(self, **params) -> dict:
+        return self.call("block", **params)
+
+    def shutdown(self) -> None:
+        """Ask the server to exit; tolerates the connection dropping."""
+        try:
+            self.call("shutdown")
+        except (ServiceError, OSError):  # pragma: no cover - racy close
+            pass
+        finally:
+            self.close()
+
+    def wait_until_ready(self, deadline: float = 10.0) -> bool:
+        """Poll ``ping`` until the server answers or ``deadline`` (s)
+        passes — for scripts that just forked a ``repro serve``."""
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            try:
+                if self.ping():
+                    return True
+            except (OSError, ServiceError, json.JSONDecodeError):
+                self.close()
+                time.sleep(0.05)
+        return False

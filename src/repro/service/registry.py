@@ -1,0 +1,186 @@
+"""Named-graph registry: which graphs the service can serve.
+
+The serving layer never receives a graph object over the wire — every
+request names its graph, and the registry resolves that name to a
+loaded :class:`~repro.graph.DiGraph`.  Three kinds of entries:
+
+* the paper's Figure 1 **toy** graph (always registered — it is the
+  smoke-test and walkthrough graph);
+* the synthetic **dataset stand-ins** of :mod:`repro.datasets`, lazily
+  built at a configurable scale;
+* **edge-list files** (SNAP format, optionally gzip-compressed) loaded
+  through :func:`repro.graph.io.read_edge_list`.
+
+Loading is lazy and memoised: a graph is built on first use and shared
+by every artifact that references it afterwards (the registry hands
+out the *raw* graph; model-probability assignment copies it, see
+:mod:`repro.service.cache`).  All methods are thread-safe — the server
+resolves names from many request threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..datasets import DATASETS, figure1_graph, load_dataset
+from ..graph import DiGraph
+from ..graph.io import read_edge_list
+
+__all__ = ["GraphEntry", "GraphRegistry", "default_registry"]
+
+
+@dataclass(frozen=True)
+class GraphEntry:
+    """One registered graph: a name bound to a lazy loader."""
+
+    name: str
+    loader: Callable[[], DiGraph]
+    description: str = ""
+    source: str = "custom"
+    """Provenance tag: ``builtin`` / ``dataset`` / ``edge-list`` /
+    ``custom`` — surfaced by the ``graphs`` request."""
+
+
+class GraphRegistry:
+    """Thread-safe name -> graph resolution with lazy memoisation."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, GraphEntry] = {}
+        self._graphs: dict[str, DiGraph] = {}
+        self._lock = threading.RLock()
+        self._loading: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        loader: Callable[[], DiGraph],
+        description: str = "",
+        source: str = "custom",
+    ) -> None:
+        """Bind ``name`` to a zero-argument graph loader."""
+        if not name:
+            raise ValueError("graph name must be non-empty")
+        with self._lock:
+            if name in self._entries:
+                raise ValueError(f"graph {name!r} is already registered")
+            self._entries[name] = GraphEntry(
+                name, loader, description, source
+            )
+
+    def register_dataset(
+        self, name: str, key: str, scale: float = 1.0
+    ) -> None:
+        """Register a :mod:`repro.datasets` stand-in under ``name``."""
+        info = DATASETS.get(key)
+        description = info.description if info is not None else key
+        self.register(
+            name,
+            lambda: load_dataset(key, scale=scale),
+            description=f"{description} (scale={scale:g})",
+            source="dataset",
+        )
+
+    def register_edge_list(
+        self,
+        name: str,
+        path: str | Path,
+        directed: bool = True,
+        default_probability: float = 1.0,
+    ) -> None:
+        """Register a SNAP-style edge-list file (``.gz`` accepted)."""
+        path = Path(path)
+
+        def load() -> DiGraph:
+            graph, _ = read_edge_list(
+                path, directed=directed,
+                default_probability=default_probability,
+            )
+            return graph
+
+        self.register(
+            name, load, description=str(path), source="edge-list"
+        )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> DiGraph:
+        """The graph registered under ``name``, loading it on first use.
+
+        Loads run outside the registry-wide lock (behind a per-name
+        single-flight lock), so one slow edge-list parse never stalls
+        ``describe()``/``names()`` or loads of other graphs.
+        """
+        with self._lock:
+            graph = self._graphs.get(name)
+            if graph is not None:
+                return graph
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(
+                    f"unknown graph {name!r}; registered: "
+                    + (", ".join(sorted(self._entries)) or "(none)")
+                )
+            load_lock = self._loading.setdefault(name, threading.Lock())
+        with load_lock:
+            with self._lock:
+                graph = self._graphs.get(name)
+                if graph is not None:  # loaded by the flight we joined
+                    return graph
+            graph = entry.loader()
+            with self._lock:
+                self._graphs[name] = graph
+                self._loading.pop(name, None)
+            return graph
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def describe(self) -> list[dict[str, object]]:
+        """One record per entry for the ``graphs`` request.
+
+        ``n``/``m`` are reported only for graphs that have already been
+        loaded — describing must never force a load (listing graphs on
+        a server with eight lazy stand-ins should stay instant).
+        """
+        with self._lock:
+            records = []
+            for name in sorted(self._entries):
+                entry = self._entries[name]
+                graph = self._graphs.get(name)
+                record: dict[str, object] = {
+                    "name": name,
+                    "source": entry.source,
+                    "description": entry.description,
+                    "loaded": graph is not None,
+                }
+                if graph is not None:
+                    record["n"] = graph.n
+                    record["m"] = graph.m
+                records.append(record)
+            return records
+
+
+def default_registry(scale: float = 1.0) -> GraphRegistry:
+    """The out-of-the-box registry: toy graph + all dataset stand-ins."""
+    registry = GraphRegistry()
+    registry.register(
+        "toy",
+        figure1_graph,
+        description="Figure 1 toy graph (9 vertices)",
+        source="builtin",
+    )
+    for key in DATASETS:
+        registry.register_dataset(key, key, scale=scale)
+    return registry

@@ -1,0 +1,551 @@
+"""The blocker-query server: threaded TCP/JSON-lines, stdlib only.
+
+Two layers:
+
+:class:`BlockerService`
+    Transport-independent request handler — a dict in, a dict out.
+    Owns the :class:`~repro.service.registry.GraphRegistry`, the
+    :class:`~repro.service.cache.ArtifactCache` and one *executor
+    thread per warm artifact*.  All engine work against an artifact
+    runs on its executor, which (a) serialises access to the stateful
+    sketch/pool machinery and (b) **coalesces** spread requests: when
+    several clients query the same artifact concurrently, the executor
+    drains its whole queue and answers every same-``(seeds, theta)``
+    spread query with one
+    :meth:`~repro.engine.evaluator.PooledEvaluator.expected_spread_many`
+    call — one aliveness-matrix materialisation for the whole batch,
+    bit-identical to serial execution.
+:class:`ServiceServer`
+    A ``socketserver.ThreadingTCPServer`` speaking JSON lines: each
+    request is one ``\\n``-terminated JSON object, each response one
+    JSON line ``{"ok": true, "result": ...}`` or ``{"ok": false,
+    "error": ...}``.  A connection may pipeline any number of
+    requests.
+
+Requests (all fields beyond ``op`` optional, with server defaults)::
+
+    {"op": "ping"}
+    {"op": "graphs"}
+    {"op": "stats"}
+    {"op": "warm",   "graph": "toy", "model": "wc", "theta": 200,
+     "seed": 7}
+    {"op": "spread", "graph": "toy", "seeds": [0], "blocked": [4]}
+    {"op": "block",  "graph": "toy", "budget": 2,
+     "algorithm": "greedy-replace"}
+    {"op": "shutdown"}
+
+An ``"id"`` field, when present, is echoed in the response so
+pipelining clients can match answers to questions.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socketserver
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core import ALGORITHMS
+from .cache import Artifact, ArtifactCache, ArtifactKey
+from .registry import default_registry, GraphRegistry
+
+__all__ = [
+    "BlockerService",
+    "RequestError",
+    "ServiceServer",
+    "ServiceStats",
+    "serve",
+]
+
+MODELS = ("tr", "wc")
+
+DEFAULTS = {
+    "graph": "toy",
+    "model": "wc",
+    "theta": 200,
+    "seed": 7,
+    "num_seeds": 3,
+}
+
+
+class RequestError(ValueError):
+    """A malformed or unsatisfiable request (client's fault, 4xx-ish)."""
+
+
+@dataclass
+class ServiceStats:
+    """Service-level observability counters.
+
+    Mutated from handler threads *and* artifact executors, so every
+    read-modify-write goes through the internal lock — otherwise the
+    counters would silently undercount under exactly the concurrent
+    load the service exists to measure.
+    """
+
+    requests: dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    batches: int = 0
+    """Coalesced executions serving more than one spread query."""
+    batched_queries: int = 0
+    """Spread queries answered as part of a multi-query batch."""
+    max_batch: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def count(self, op: str) -> None:
+        with self._lock:
+            self.requests[op] = self.requests.get(op, 0) + 1
+
+    def count_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def count_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_queries += size
+            self.max_batch = max(self.max_batch, size)
+
+    def as_dict(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "requests": dict(self.requests),
+                "errors": self.errors,
+                "batches": self.batches,
+                "batched_queries": self.batched_queries,
+                "max_batch": self.max_batch,
+            }
+
+
+_STOP = object()
+
+
+class _ArtifactExecutor:
+    """One worker thread per artifact: serialisation + coalescing.
+
+    Work items are ``(kind, params, future)``.  The worker drains
+    everything queued at wake-up, groups ``spread`` items by
+    ``(seeds, theta)`` and answers each group with one batched engine
+    call; ``block`` items run individually (they are long and
+    stateful-greedy, there is nothing to share).  Because every query
+    is a pure function of the artifact key and its parameters, the
+    reordering this implies is observationally equivalent to any
+    serial order.
+
+    Close is race-safe: enqueueing and the closed flag share a mutex,
+    so no item can land behind the ``_STOP`` sentinel and hang its
+    caller — a submit that loses the race runs the query directly
+    (unbatched but correct; the artifact's own lock serialises it).
+    """
+
+    def __init__(self, artifact: Artifact, stats: ServiceStats) -> None:
+        self._artifact = artifact
+        self._stats = stats
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._mutex = threading.Lock()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"repro-artifact-{artifact.key.graph}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def submit(self, kind: str, params: dict):
+        with self._mutex:
+            if not self._closed:
+                future: Future = Future()
+                self._queue.put((kind, params, future))
+                enqueued = True
+            else:
+                enqueued = False
+        if not enqueued:  # retired executor: serve directly
+            return self._execute_one(kind, params)
+        return future.result()
+
+    def _execute_one(self, kind: str, params: dict):
+        if kind == "spread":
+            return self._artifact.spread_many(
+                list(params["seeds"]), [params["blocked"]],
+                params["theta"],
+            )[0]
+        return self._artifact.block(**params)
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_STOP)
+        self._thread.join(timeout=5)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            items = [item]
+            while True:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    self._flush(items)
+                    return
+                items.append(extra)
+            self._flush(items)
+
+    def _flush(self, items: list) -> None:
+        spreads: dict[tuple, list] = {}
+        for kind, params, future in items:
+            if kind == "spread":
+                group_key = (tuple(params["seeds"]), params["theta"])
+                spreads.setdefault(group_key, []).append((params, future))
+            else:
+                try:
+                    future.set_result(self._artifact.block(**params))
+                except Exception as error:  # noqa: BLE001 - to caller
+                    future.set_exception(error)
+        for (seeds, theta), group in spreads.items():
+            if len(group) > 1:
+                self._stats.count_batch(len(group))
+            try:
+                estimates = self._artifact.spread_many(
+                    list(seeds),
+                    [params["blocked"] for params, _ in group],
+                    theta,
+                )
+            except Exception as error:  # noqa: BLE001 - to callers
+                for _, future in group:
+                    future.set_exception(error)
+                continue
+            for (_, future), estimate in zip(group, estimates):
+                future.set_result(estimate)
+
+
+class BlockerService:
+    """Dispatch JSON requests against the registry and artifact cache."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry | None = None,
+        cache: ArtifactCache | None = None,
+        max_entries: int = 8,
+        max_bytes: int | None = None,
+        cache_dir=None,
+        defaults: dict | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else (
+            cache.registry if cache is not None else default_registry()
+        )
+        self.cache = cache if cache is not None else ArtifactCache(
+            self.registry,
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+            cache_dir=cache_dir,
+        )
+        self.defaults = {**DEFAULTS, **(defaults or {})}
+        self.stats = ServiceStats()
+        self._executors: dict[ArtifactKey, _ArtifactExecutor] = {}
+        self._lock = threading.Lock()
+        # retire an evicted artifact's executor immediately — without
+        # this, the executor's strong reference to the artifact (and
+        # its idle worker thread) would outlive every eviction and
+        # defeat the cache's memory bound
+        self.cache.on_evict = self._retire_executor
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def handle(self, request: dict) -> dict:
+        """One request dict -> one response dict (never raises)."""
+        try:
+            if not isinstance(request, dict):
+                raise RequestError("request must be a JSON object")
+            op = request.get("op")
+            handler = self._handlers().get(op)
+            if handler is None:
+                raise RequestError(
+                    f"unknown op {op!r}; expected one of "
+                    + ", ".join(sorted(self._handlers()))
+                )
+            self.stats.count(op)
+            response: dict = {"ok": True, "op": op}
+            result = handler(request)
+            if result is not None:
+                response["result"] = result
+        except RequestError as error:
+            self.stats.count_error()
+            response = {"ok": False, "error": str(error)}
+        except Exception as error:  # noqa: BLE001 - report, don't die
+            self.stats.count_error()
+            response = {
+                "ok": False,
+                "error": f"{type(error).__name__}: {error}",
+            }
+        if isinstance(request, dict) and "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    def _handlers(self) -> dict[str, Callable[[dict], object]]:
+        return {
+            "ping": lambda request: "pong",
+            "graphs": self._op_graphs,
+            "stats": self._op_stats,
+            "warm": self._op_warm,
+            "spread": self._op_spread,
+            "block": self._op_block,
+            # "shutdown" is transport-level; the TCP layer intercepts
+            # it before dispatch and this entry only documents the op
+            "shutdown": lambda request: "bye",
+        }
+
+    # ------------------------------------------------------------------
+    # parameter resolution
+    # ------------------------------------------------------------------
+    def _artifact_key(self, request: dict) -> ArtifactKey:
+        graph = request.get("graph", self.defaults["graph"])
+        model = request.get("model", self.defaults["model"])
+        if graph not in self.registry:
+            raise RequestError(
+                f"unknown graph {graph!r}; registered: "
+                + ", ".join(self.registry.names())
+            )
+        if model not in MODELS:
+            raise RequestError(
+                f"unknown model {model!r}; expected one of "
+                + ", ".join(MODELS)
+            )
+        theta = _as_int(request, "theta", self.defaults["theta"])
+        if theta <= 0:
+            raise RequestError("theta must be positive")
+        seed = _as_int(request, "seed", self.defaults["seed"])
+        return ArtifactKey(graph, model, theta, seed)
+
+    def _artifact(self, key: ArtifactKey) -> Artifact:
+        try:
+            return self.cache.get(key)
+        except (KeyError, ValueError) as error:
+            raise RequestError(str(error)) from error
+
+    def _executor(self, key: ArtifactKey) -> _ArtifactExecutor:
+        artifact = self._artifact(key)
+        with self._lock:
+            executor = self._executors.get(key)
+            if executor is None or executor._artifact is not artifact:
+                # first query for this key, or the cache evicted and
+                # rebuilt the artifact since — retire the old worker
+                if executor is not None:
+                    executor.close()
+                executor = _ArtifactExecutor(artifact, self.stats)
+                self._executors[key] = executor
+            return executor
+
+    def _retire_executor(self, key: ArtifactKey, artifact) -> None:
+        """Cache-eviction hook: reap the evicted key's worker thread."""
+        with self._lock:
+            executor = self._executors.pop(key, None)
+        if executor is not None:
+            executor.close()
+
+    def _seeds(self, request: dict, artifact: Artifact) -> list[int]:
+        seeds = request.get("seeds")
+        if seeds is None:
+            count = _as_int(
+                request, "num_seeds", self.defaults["num_seeds"]
+            )
+            if count < 1:
+                raise RequestError("num_seeds must be >= 1")
+            return artifact.default_seeds(count)
+        seeds = _vertex_list(seeds, "seeds", artifact.csr.n)
+        if not seeds:
+            raise RequestError("seeds must be non-empty")
+        return seeds
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def _op_graphs(self, request: dict) -> list[dict]:
+        return self.registry.describe()
+
+    def _op_stats(self, request: dict) -> dict:
+        return {
+            "service": self.stats.as_dict(),
+            "cache": self.cache.describe(),
+        }
+
+    def _op_warm(self, request: dict) -> dict:
+        key = self._artifact_key(request)
+        artifact = self._artifact(key)
+        if request.get("seeds") is not None or request.get("sketch"):
+            artifact.warm_sketch(self._seeds(request, artifact))
+        return artifact.describe()
+
+    def _op_spread(self, request: dict) -> dict:
+        key = self._artifact_key(request)
+        artifact = self._artifact(key)
+        seeds = self._seeds(request, artifact)
+        blocked = _vertex_list(
+            request.get("blocked", []), "blocked", artifact.csr.n
+        )
+        seed_set = set(seeds)
+        dropped = sorted(set(blocked) & seed_set)
+        blocked = [v for v in blocked if v not in seed_set]
+        estimate = self._executor(key).submit(
+            "spread",
+            {"seeds": seeds, "blocked": blocked, "theta": key.theta},
+        )
+        result = {
+            **key.as_dict(),
+            "seeds": seeds,
+            "blocked": blocked,
+            "spread": estimate,
+        }
+        if dropped:
+            result["ignored_seed_blockers"] = dropped
+        return result
+
+    def _op_block(self, request: dict) -> dict:
+        key = self._artifact_key(request)
+        artifact = self._artifact(key)
+        seeds = self._seeds(request, artifact)
+        budget = _as_int(request, "budget", 10)
+        if budget < 1:
+            raise RequestError("budget must be >= 1")
+        algorithm = request.get(
+            "algorithm", self.defaults.get("algorithm", "greedy-replace")
+        )
+        if algorithm not in ALGORITHMS:
+            raise RequestError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                + ", ".join(ALGORITHMS)
+            )
+        rng = request.get("rng")
+        if rng is not None:
+            rng = _as_int(request, "rng", 0)
+        outcome = self._executor(key).submit(
+            "block",
+            {
+                "seeds": seeds,
+                "budget": budget,
+                "algorithm": algorithm,
+                "theta": key.theta,
+                "rng": rng,
+            },
+        )
+        return {**key.as_dict(), "seeds": seeds, "budget": budget, **outcome}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for executor in executors:
+            executor.close()
+        self.cache.close()
+
+
+def _as_int(request: dict, field_name: str, default: int) -> int:
+    value = request.get(field_name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"{field_name} must be an integer")
+    return value
+
+
+def _vertex_list(value, field_name: str, n: int) -> list[int]:
+    if not isinstance(value, (list, tuple)):
+        raise RequestError(f"{field_name} must be a list of vertex ids")
+    out: list[int] = []
+    for v in value:
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise RequestError(f"{field_name} must contain integers")
+        if not 0 <= v < n:
+            raise RequestError(
+                f"{field_name} id {v} out of range [0, {n})"
+            )
+        out.append(v)
+    return out
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no branch - loop structure
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                self._send({"ok": False, "error": f"bad JSON: {error}"})
+                continue
+            is_shutdown = (
+                isinstance(request, dict)
+                and request.get("op") == "shutdown"
+            )
+            if is_shutdown:
+                self.server.service.stats.count("shutdown")
+                self._send({"ok": True, "op": "shutdown", "result": "bye"})
+                # shutdown() joins the serve_forever loop (a different
+                # thread); detach so this handler can finish its own
+                # connection first
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+            self._send(self.server.service.handle(request))
+
+    def _send(self, response: dict) -> None:
+        self.wfile.write(
+            json.dumps(response, separators=(",", ":")).encode() + b"\n"
+        )
+        self.wfile.flush()
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """JSON-lines TCP front of a :class:`BlockerService`.
+
+    ``port=0`` binds an ephemeral port (see ``server_address[1]``) —
+    what the tests and benchmark harness use.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: BlockerService,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.service.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: BlockerService | None = None,
+    **service_kwargs,
+) -> ServiceServer:
+    """Bind a :class:`ServiceServer` (without entering its loop).
+
+    Callers run ``server.serve_forever()`` themselves — the CLI does
+    it on the main thread, tests in a daemon thread.
+    """
+    if service is None:
+        service = BlockerService(**service_kwargs)
+    return ServiceServer((host, port), service)

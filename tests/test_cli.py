@@ -1,5 +1,8 @@
 """Smoke tests for the command-line interface."""
 
+import json
+import threading
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -171,6 +174,85 @@ class TestEngineFlag:
         out = capsys.readouterr().out
         assert "engine=vectorized" in out
         assert "expected spread" in out
+
+
+class TestServeQueryVerbs:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port is None
+        assert args.cache_entries == 8
+        assert args.edge_list == []
+
+    def test_query_requires_known_op(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "teleport"])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "ping"])
+        assert args.op == "ping"
+        assert args.port is None
+        assert args.graph is None
+
+    def test_serve_rejects_malformed_edge_list(self, capsys):
+        assert main(["serve", "--edge-list", "nopath"]) == 2
+        assert "NAME=PATH" in capsys.readouterr().out
+
+    def test_query_against_unreachable_server(self, capsys):
+        code = main(
+            ["query", "ping", "--port", "1", "--timeout", "0.5"]
+        )
+        assert code == 1
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is False
+
+    def test_serve_query_round_trip(self, capsys):
+        """`repro serve` + `repro query` end-to-end on the toy graph."""
+        from repro.service import (
+            ArtifactCache,
+            BlockerService,
+            default_registry,
+            serve,
+        )
+
+        registry = default_registry(scale=0.05)
+        service = BlockerService(
+            registry=registry,
+            cache=ArtifactCache(registry, max_entries=2),
+        )
+        server = serve(port=0, service=service)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        port = str(server.server_address[1])
+        try:
+            code = main(
+                [
+                    "query", "block", "--port", port, "--graph", "toy",
+                    "--theta", "100", "--budget", "2", "--seeds", "0",
+                ]
+            )
+            assert code == 0
+            response = json.loads(capsys.readouterr().out)
+            assert response["ok"] is True
+            result = response["result"]
+            assert result["budget"] == 2
+            assert result["spread_blocked"] <= result["spread_unblocked"]
+
+            code = main(["query", "spread", "--port", port,
+                         "--graph", "toy", "--theta", "100",
+                         "--seeds", "0", "--blocked", "4"])
+            assert code == 0
+            response = json.loads(capsys.readouterr().out)
+            assert response["result"]["spread"] == pytest.approx(3.0)
+
+            code = main(["query", "shutdown", "--port", port])
+            assert code == 0
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            server.server_close()
 
 
 class TestThetaFlags:

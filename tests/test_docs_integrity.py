@@ -98,6 +98,7 @@ class TestPackageSurface:
             "repro.datasets",
             "repro.bench",
             "repro.imax",
+            "repro.service",
         ):
             module = importlib.import_module(module_name)
             for name in module.__all__:

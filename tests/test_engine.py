@@ -386,6 +386,118 @@ class TestFactory:
         assert evaluator.csr.n == toy.n
 
 
+class TestBuildEvaluator:
+    """The ``build_evaluator`` helper shared by CLI and service."""
+
+    def test_integer_seed_derives_stream(self, toy):
+        from repro.engine import build_evaluator
+
+        a0 = build_evaluator(toy, "vectorized", rng=42, stream=0)
+        a0_again = build_evaluator(toy, "vectorized", rng=42, stream=0)
+        a1 = build_evaluator(toy, "vectorized", rng=42, stream=1)
+        same = a0.expected_spread([figure1_seed], 400)
+        replay = a0_again.expected_spread([figure1_seed], 400)
+        other = a1.expected_spread([figure1_seed], 400)
+        assert same == replay  # same (seed, stream) replays exactly
+        assert same != other  # different streams differ
+
+    def test_matches_cli_seedsequence_derivation(self, toy):
+        from repro.engine import build_evaluator
+
+        derived = build_evaluator(toy, "vectorized", rng=7, stream=1)
+        explicit = make_evaluator(
+            toy,
+            "vectorized",
+            rng=np.random.default_rng(np.random.SeedSequence((7, 1))),
+        )
+        assert derived.expected_spread(
+            [figure1_seed], 500
+        ) == explicit.expected_spread([figure1_seed], 500)
+
+    def test_generator_passthrough_ignores_stream(self, toy):
+        from repro.engine import build_evaluator
+
+        gen = np.random.default_rng(3)
+        evaluator = build_evaluator(
+            toy, "vectorized", rng=gen, stream=99
+        )
+        assert evaluator._gen is gen
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend_is_a_context_manager(self, toy, backend):
+        from repro.engine import build_evaluator
+
+        with build_evaluator(
+            toy, backend, rng=0, workers=1
+        ) as evaluator:
+            assert evaluator.expected_spread([figure1_seed], 50) > 0
+        evaluator.close()  # idempotent after __exit__
+
+    def test_parallel_context_manager_reaps_pool(self, toy):
+        from repro.engine import build_evaluator
+
+        with build_evaluator(
+            toy, "parallel", rng=0, workers=2
+        ) as evaluator:
+            evaluator.expected_spread([figure1_seed], 64)
+            assert evaluator._pool is not None
+        assert evaluator._pool is None
+
+    def test_integer_seed_keys_disk_cache(self, toy, tmp_path):
+        from repro.engine import build_evaluator
+
+        first = build_evaluator(
+            toy, "pooled", rng=5, stream=0, cache_dir=tmp_path
+        )
+        first.expected_spread([figure1_seed], 40)
+        assert first.pool.stats.disk_saves == 1
+        second = build_evaluator(
+            toy, "pooled", rng=5, stream=0, cache_dir=tmp_path
+        )
+        assert second.pool.stats.disk_loads == 1
+        # a different stream must not attach the stream-0 pool
+        other = build_evaluator(
+            toy, "pooled", rng=5, stream=1, cache_dir=tmp_path
+        )
+        assert other.pool.stats.disk_loads == 0
+
+
+class TestExpectedSpreadMany:
+    def test_matches_individual_calls_bitwise(self, toy):
+        evaluator = PooledEvaluator(toy, rng=11)
+        seeds = [figure1_seed]
+        blocked_sets = [[], [4], [1, 3], [4, 8], [2]]
+        batched = evaluator.expected_spread_many(
+            seeds, 300, blocked_sets
+        )
+        singles = [
+            evaluator.expected_spread(seeds, 300, blocked)
+            for blocked in blocked_sets
+        ]
+        assert batched == singles
+
+    def test_empty_batch(self, toy):
+        evaluator = PooledEvaluator(toy, rng=11)
+        assert evaluator.expected_spread_many([figure1_seed], 10, []) == []
+
+    def test_rejects_nonpositive_rounds(self, toy):
+        evaluator = PooledEvaluator(toy, rng=11)
+        with pytest.raises(ValueError):
+            evaluator.expected_spread_many([figure1_seed], 0, [[]])
+
+    def test_chunked_batch_still_matches(self, toy):
+        # force many small chunks so the batched loop crosses windows
+        evaluator = PooledEvaluator(toy, rng=2, batch_size=7)
+        batched = evaluator.expected_spread_many(
+            [figure1_seed], 100, [[], [4]]
+        )
+        singles = [
+            evaluator.expected_spread([figure1_seed], 100, blocked)
+            for blocked in ([], [4])
+        ]
+        assert batched == singles
+
+
 class TestVersionedInvalidation:
     def test_add_vertex_invalidates_shared_engine(self):
         from repro.spread import simulate_cascade

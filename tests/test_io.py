@@ -1,5 +1,6 @@
 """Unit tests for edge-list I/O and networkx conversion."""
 
+import gzip
 import io
 
 import pytest
@@ -52,6 +53,33 @@ class TestReadEdgeList:
         assert loaded.m == graph.m
         assert loaded.probability(id_map[0], id_map[1]) == 0.5
         assert loaded.probability(id_map[1], id_map[2]) == 0.125
+
+    def test_gzip_compressed_path(self, tmp_path):
+        path = tmp_path / "edges.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("# SNAP download\n10 20\n20 30 0.5\n")
+        graph, id_map = read_edge_list(path)
+        assert (graph.n, graph.m) == (3, 2)
+        assert graph.probability(id_map[20], id_map[30]) == 0.5
+
+    def test_gzip_matches_plain(self, tmp_path):
+        text = "0 1\n1 2 0.25\n2 0\n"
+        plain = tmp_path / "edges.txt"
+        plain.write_text(text, encoding="utf-8")
+        compressed = tmp_path / "edges.txt.gz"
+        with gzip.open(compressed, "wt", encoding="utf-8") as handle:
+            handle.write(text)
+        graph_a, map_a = read_edge_list(plain)
+        graph_b, map_b = read_edge_list(compressed)
+        assert map_a == map_b
+        assert sorted(graph_a.edges()) == sorted(graph_b.edges())
+
+    def test_gzip_accepts_string_path(self, tmp_path):
+        path = tmp_path / "edges.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("3 4\n")
+        graph, _ = read_edge_list(str(path))
+        assert graph.m == 1
 
 
 class TestWriteEdgeList:

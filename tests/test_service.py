@@ -1,0 +1,590 @@
+"""Tests for the serving layer (``repro.service``).
+
+Covers the four subsystem parts — registry, artifact cache, TCP/JSON
+server and client — plus the PR's central correctness contract: N
+client threads issuing mixed ``block``/``spread`` queries against one
+warm artifact return **bit-identical** results to serial execution
+(every query is a pure function of the artifact key and its
+parameters, and per-artifact executors serialise the stateful engine
+machinery).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.datasets import figure1_graph
+from repro.service import (
+    Artifact,
+    ArtifactCache,
+    ArtifactKey,
+    BlockerService,
+    default_registry,
+    GraphRegistry,
+    serve,
+    ServiceClient,
+    ServiceError,
+)
+
+TOY_KEY = ArtifactKey("toy", "wc", 100, 7)
+
+
+@pytest.fixture()
+def registry():
+    return default_registry(scale=0.05)
+
+
+@pytest.fixture()
+def cache(registry):
+    return ArtifactCache(registry, max_entries=3)
+
+
+@pytest.fixture()
+def running_server(registry):
+    service = BlockerService(
+        registry=registry, cache=ArtifactCache(registry, max_entries=3)
+    )
+    server = serve(port=0, service=service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def client_for(server) -> ServiceClient:
+    host, port = server.server_address[:2]
+    return ServiceClient(host, port, timeout=30.0)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_default_registry_has_toy_and_datasets(self, registry):
+        names = registry.names()
+        assert "toy" in names
+        assert "email-core" in names
+        assert registry.get("toy").n == 9
+
+    def test_get_memoises(self, registry):
+        assert registry.get("toy") is registry.get("toy")
+
+    def test_unknown_name_lists_known(self, registry):
+        with pytest.raises(KeyError, match="toy"):
+            registry.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        registry = GraphRegistry()
+        registry.register("g", figure1_graph)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("g", figure1_graph)
+
+    def test_describe_is_lazy(self, registry):
+        records = {r["name"]: r for r in registry.describe()}
+        assert not records["email-core"]["loaded"]
+        assert "n" not in records["email-core"]
+        registry.get("email-core")
+        records = {r["name"]: r for r in registry.describe()}
+        assert records["email-core"]["loaded"]
+        assert records["email-core"]["n"] > 0
+
+    def test_register_edge_list_gz(self, tmp_path):
+        path = tmp_path / "snap.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("# comment\n0 1\n1 2\n2 0\n")
+        registry = GraphRegistry()
+        registry.register_edge_list("snap", path)
+        graph = registry.get("snap")
+        assert (graph.n, graph.m) == (3, 3)
+        record = [
+            r for r in registry.describe() if r["name"] == "snap"
+        ][0]
+        assert record["source"] == "edge-list"
+
+
+# ----------------------------------------------------------------------
+# artifact cache
+# ----------------------------------------------------------------------
+class TestArtifactCache:
+    def test_key_validation(self):
+        with pytest.raises(ValueError, match="theta"):
+            ArtifactKey("toy", "wc", 0, 7)
+
+    def test_hit_miss_stats(self, cache):
+        first = cache.get(TOY_KEY)
+        again = cache.get(TOY_KEY)
+        assert first is again
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.builds == 1
+
+    def test_artifact_is_warm_on_return(self, cache):
+        artifact = cache.get(TOY_KEY)
+        assert artifact.pool.theta >= TOY_KEY.theta
+
+    def test_lru_eviction_by_entries(self, registry):
+        cache = ArtifactCache(registry, max_entries=2)
+        keys = [
+            ArtifactKey("toy", "wc", 50, seed) for seed in (1, 2, 3)
+        ]
+        for key in keys:
+            cache.get(key)
+        assert cache.stats.evictions == 1
+        assert keys[0] not in cache.keys()
+        assert keys[1] in cache.keys() and keys[2] in cache.keys()
+
+    def test_lru_refresh_on_hit(self, registry):
+        cache = ArtifactCache(registry, max_entries=2)
+        k1, k2, k3 = (
+            ArtifactKey("toy", "wc", 50, seed) for seed in (1, 2, 3)
+        )
+        cache.get(k1)
+        cache.get(k2)
+        cache.get(k1)  # refresh: k2 is now least recent
+        cache.get(k3)
+        assert k1 in cache.keys()
+        assert k2 not in cache.keys()
+
+    def test_eviction_by_bytes(self, registry):
+        cache = ArtifactCache(registry, max_entries=10, max_bytes=1)
+        cache.get(ArtifactKey("toy", "wc", 50, 1))
+        cache.get(ArtifactKey("toy", "wc", 50, 2))
+        # every artifact exceeds 1 byte, but the newest always survives
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+
+    def test_rehydration_from_disk(self, registry, tmp_path):
+        cache = ArtifactCache(
+            registry, max_entries=1, cache_dir=tmp_path
+        )
+        first = cache.get(TOY_KEY)
+        generated = first.pool.stats.generated
+        assert generated >= TOY_KEY.theta
+        # force an eviction, then rebuild the same key
+        cache.get(ArtifactKey("toy", "wc", 50, 99))
+        rebuilt = cache.get(TOY_KEY)
+        assert rebuilt is not first
+        assert cache.stats.rehydrations == 1
+        assert rebuilt.pool.stats.generated == 0  # attached, not drawn
+        assert rebuilt.pool.stats.disk_loads == 1
+
+    def test_single_flight_builds(self, registry):
+        cache = ArtifactCache(registry, max_entries=3)
+        barrier = threading.Barrier(4)
+        results = []
+
+        def build():
+            barrier.wait()
+            results.append(cache.get(TOY_KEY))
+
+        threads = [
+            threading.Thread(target=build) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.stats.builds == 1
+        assert all(r is results[0] for r in results)
+
+    def test_deterministic_rebuild(self, registry):
+        cache = ArtifactCache(registry, max_entries=1)
+        artifact = cache.get(TOY_KEY)
+        seeds = artifact.default_seeds(2)
+        blocked = [v for v in range(9) if v not in seeds][:2]
+        spread = artifact.spread(seeds, blocked)
+        cache.get(ArtifactKey("toy", "wc", 50, 99))  # evict
+        rebuilt = cache.get(TOY_KEY)
+        assert rebuilt.default_seeds(2) == seeds
+        assert rebuilt.spread(seeds, blocked) == spread
+
+
+class TestArtifact:
+    def test_spread_many_matches_individual(self, cache):
+        artifact = cache.get(TOY_KEY)
+        seeds = [0]
+        blocked_sets = [[], [4], [1, 3], [4, 8]]
+        batched = artifact.spread_many(seeds, blocked_sets)
+        singles = [
+            artifact.spread(seeds, blocked) for blocked in blocked_sets
+        ]
+        assert batched == singles  # bit-identical, not just close
+
+    def test_block_structure(self, cache):
+        artifact = cache.get(TOY_KEY)
+        outcome = artifact.block([0], budget=1)
+        assert outcome["blockers"] == [4]  # v5, the paper's Example 1
+        assert (
+            outcome["spread_blocked"] <= outcome["spread_unblocked"]
+        )
+        assert outcome["algorithm"] == "greedy-replace"
+
+    def test_blocking_reduces_spread(self, cache):
+        artifact = cache.get(TOY_KEY)
+        unblocked, blocked = artifact.spread_many([0], [[], [4]])
+        assert blocked < unblocked
+
+    def test_block_judged_on_independent_stream(self, cache):
+        """The winner is never scored on the samples that picked it."""
+        artifact = cache.get(TOY_KEY)
+        assert artifact.judge.pool is not artifact.pool
+        outcome = artifact.block([0], budget=1)
+        judged = artifact.judge.expected_spread_many(
+            [0], TOY_KEY.theta, [[], outcome["blockers"]]
+        )
+        assert [
+            outcome["spread_unblocked"], outcome["spread_blocked"]
+        ] == judged
+
+
+# ----------------------------------------------------------------------
+# service dispatch (no TCP)
+# ----------------------------------------------------------------------
+class TestBlockerService:
+    def test_ping(self, registry):
+        service = BlockerService(registry=registry)
+        response = service.handle({"op": "ping"})
+        assert response == {"ok": True, "op": "ping", "result": "pong"}
+
+    def test_unknown_op(self, registry):
+        service = BlockerService(registry=registry)
+        response = service.handle({"op": "teleport"})
+        assert not response["ok"]
+        assert "teleport" in response["error"]
+        assert service.stats.errors == 1
+
+    def test_id_echo(self, registry):
+        service = BlockerService(registry=registry)
+        assert service.handle({"op": "ping", "id": 42})["id"] == 42
+        assert service.handle({"op": "nope", "id": "x"})["id"] == "x"
+
+    @pytest.mark.parametrize(
+        "request_patch, fragment",
+        [
+            ({"graph": "nope"}, "unknown graph"),
+            ({"model": "ic"}, "unknown model"),
+            ({"theta": -1}, "theta must be positive"),
+            ({"theta": "many"}, "theta must be an integer"),
+            ({"seeds": [99]}, "out of range"),
+            ({"seeds": []}, "seeds must be non-empty"),
+            ({"num_seeds": 0}, "num_seeds must be >= 1"),
+            ({"blocked": ["v5"]}, "must contain integers"),
+        ],
+    )
+    def test_bad_requests(self, registry, request_patch, fragment):
+        service = BlockerService(registry=registry)
+        request = {"op": "spread", "graph": "toy", **request_patch}
+        response = service.handle(request)
+        assert not response["ok"]
+        assert fragment in response["error"]
+
+    def test_spread_drops_seed_blockers(self, registry):
+        service = BlockerService(registry=registry)
+        response = service.handle(
+            {
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seeds": [0], "blocked": [0, 4],
+            }
+        )
+        assert response["ok"]
+        assert response["result"]["blocked"] == [4]
+        assert response["result"]["ignored_seed_blockers"] == [0]
+
+    def test_block_bad_algorithm(self, registry):
+        service = BlockerService(registry=registry)
+        response = service.handle(
+            {"op": "block", "graph": "toy", "algorithm": "magic"}
+        )
+        assert not response["ok"]
+        assert "unknown algorithm" in response["error"]
+
+    def test_warm_reports_artifact(self, registry):
+        service = BlockerService(registry=registry)
+        response = service.handle(
+            {"op": "warm", "graph": "toy", "theta": 100, "seed": 7}
+        )
+        assert response["ok"]
+        result = response["result"]
+        assert result["graph"] == "toy"
+        assert result["n"] == 9
+        assert result["nbytes"] > 0
+
+    def test_stats_shape(self, registry):
+        service = BlockerService(registry=registry)
+        service.handle({"op": "ping"})
+        result = service.handle({"op": "stats"})["result"]
+        assert result["service"]["requests"]["ping"] == 1
+        assert "cache" in result
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# TCP round trip
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_round_trip(self, running_server):
+        with client_for(running_server) as client:
+            assert client.ping()
+            names = [g["name"] for g in client.graphs()]
+            assert "toy" in names
+            result = client.spread(
+                graph="toy", theta=100, seeds=[0], blocked=[4]
+            )
+            assert result["spread"] == pytest.approx(3.0)
+            outcome = client.block(
+                graph="toy", theta=100, seeds=[0], budget=1
+            )
+            assert outcome["blockers"] == [4]
+
+    def test_pipelined_requests_one_connection(self, running_server):
+        with client_for(running_server) as client:
+            for _ in range(5):
+                assert client.ping()
+
+    def test_bad_json_line(self, running_server):
+        host, port = running_server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            line = sock.makefile("rb").readline()
+        response = json.loads(line)
+        assert not response["ok"]
+        assert "bad JSON" in response["error"]
+
+    def test_call_raises_service_error(self, running_server):
+        with client_for(running_server) as client:
+            with pytest.raises(ServiceError, match="unknown graph"):
+                client.spread(graph="nope")
+
+    def test_shutdown_op_stops_server(self, registry):
+        service = BlockerService(registry=registry)
+        server = serve(port=0, service=service)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        client = client_for(server)
+        assert client.wait_until_ready(10)
+        client.shutdown()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        server.server_close()
+
+
+# ----------------------------------------------------------------------
+# concurrency: the PR's central contract
+# ----------------------------------------------------------------------
+def _mixed_queries() -> list[dict]:
+    queries: list[dict] = []
+    for blocked in ([], [4], [1], [3, 8], [4, 8], [2, 5]):
+        queries.append(
+            {
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seed": 7, "seeds": [0], "blocked": blocked,
+            }
+        )
+    for budget, rng in ((1, 1), (2, 2), (3, 3)):
+        queries.append(
+            {
+                "op": "block", "graph": "toy", "theta": 100,
+                "seed": 7, "seeds": [0], "budget": budget, "rng": rng,
+            }
+        )
+    return queries
+
+
+def _normalise(response: dict) -> dict:
+    assert response["ok"], response
+    result = dict(response["result"])
+    result.pop("elapsed_seconds", None)
+    return result
+
+
+class TestConcurrency:
+    def test_concurrent_mixed_equals_serial(self, registry):
+        queries = _mixed_queries() * 3  # 27 queries, heavy overlap
+        # serial reference: a fresh service answers one at a time
+        serial_service = BlockerService(
+            registry=default_registry(scale=0.05)
+        )
+        serial = [
+            _normalise(serial_service.handle(q)) for q in queries
+        ]
+        serial_service.close()
+
+        # concurrent: one warm artifact, one thread per query
+        service = BlockerService(registry=registry)
+        server = serve(port=0, service=service)
+        server_thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        server_thread.start()
+        host, port = server.server_address[:2]
+        service.handle(  # pre-warm so every thread hits the same state
+            {"op": "warm", "graph": "toy", "theta": 100, "seed": 7}
+        )
+        results: list[dict | None] = [None] * len(queries)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(len(queries))
+
+        def fire(index: int, query: dict) -> None:
+            try:
+                with ServiceClient(host, port, timeout=60) as client:
+                    barrier.wait()
+                    results[index] = _normalise(
+                        client.request(query["op"], **{
+                            k: v for k, v in query.items() if k != "op"
+                        })
+                    )
+            except BaseException as error:  # noqa: BLE001 - reraise
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=fire, args=(i, q), daemon=True)
+            for i, q in enumerate(queries)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        try:
+            assert not errors, errors
+            # bit-identical, not approximately equal: same pooled
+            # samples, same sums, regardless of interleaving
+            assert results == serial
+        finally:
+            server.shutdown()
+            server.server_close()
+            server_thread.join(timeout=5)
+
+    def test_coalescing_batches_concurrent_spreads(self, registry):
+        service = BlockerService(registry=registry)
+        server = serve(port=0, service=service)
+        server_thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        server_thread.start()
+        host, port = server.server_address[:2]
+        try:
+            service.handle(
+                {"op": "warm", "graph": "toy", "theta": 100, "seed": 7}
+            )
+            artifact = service.cache.get(
+                ArtifactKey("toy", "wc", 100, 7)
+            )
+            done = threading.Barrier(9)
+
+            def query(blocked: list[int]) -> None:
+                with ServiceClient(host, port, timeout=60) as client:
+                    client.spread(
+                        graph="toy", theta=100, seed=7, seeds=[0],
+                        blocked=blocked,
+                    )
+                done.wait()
+
+            threads = [
+                threading.Thread(
+                    target=query, args=([v],), daemon=True
+                )
+                for v in range(1, 9)
+            ]
+            # hold the artifact lock so the executor stalls while the
+            # clients queue up, then release: the drain must coalesce
+            # (the stalled worker may hold the first few submissions,
+            # so watch the dispatch counter, not the queue depth)
+            with artifact._lock:
+                for t in threads:
+                    t.start()
+                for _ in range(400):
+                    if service.stats.requests.get("spread", 0) >= 8:
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("clients never queued up")
+                time.sleep(0.2)  # let the counted submits reach the queue
+            done.wait()
+            for t in threads:
+                t.join(timeout=30)
+            assert service.stats.batches >= 1
+            assert service.stats.max_batch >= 2
+        finally:
+            server.shutdown()
+            server.server_close()
+            server_thread.join(timeout=5)
+
+
+class TestExecutorRetirement:
+    def test_eviction_retires_executor(self, registry):
+        """Evicted artifacts must not be pinned by their executors."""
+        service = BlockerService(
+            registry=registry,
+            cache=ArtifactCache(registry, max_entries=1),
+        )
+        try:
+            keys = [
+                ArtifactKey("toy", "wc", 50, seed) for seed in (1, 2, 3)
+            ]
+            for key in keys:
+                response = service.handle(
+                    {"op": "spread", "seeds": [0], **key.as_dict()}
+                )
+                assert response["ok"], response
+            assert service.cache.stats.evictions == 2
+            # only the resident key's executor survives
+            assert set(service._executors) == {keys[-1]}
+        finally:
+            service.close()
+
+    def test_retired_executor_still_serves_direct(self, registry):
+        """A submit that loses the close race answers, not hangs."""
+        cache = ArtifactCache(registry, max_entries=2)
+        service = BlockerService(cache=cache)
+        try:
+            artifact = cache.get(TOY_KEY)
+            executor = service._executor(TOY_KEY)
+            before = executor.submit(
+                "spread",
+                {"seeds": [0], "blocked": [4], "theta": 100},
+            )
+            executor.close()
+            after = executor.submit(
+                "spread",
+                {"seeds": [0], "blocked": [4], "theta": 100},
+            )
+            assert after == before == artifact.spread([0], [4])
+        finally:
+            service.close()
+
+
+class TestServiceAgainstEngine:
+    def test_service_spread_matches_pooled_evaluator(self, cache):
+        """The served number is the engine's number, not a re-estimate."""
+        artifact = cache.get(TOY_KEY)
+        service = BlockerService(cache=cache)
+        response = service.handle(
+            {
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seed": 7, "seeds": [0], "blocked": [4],
+            }
+        )
+        direct = artifact.pooled.expected_spread([0], 100, [4])
+        assert response["result"]["spread"] == direct
+
+
+def test_artifact_exposes_engine_stats(cache):
+    artifact = cache.get(TOY_KEY)
+    artifact.spread([0], [])
+    description = artifact.describe()
+    assert description["pool"]["generated"] >= 100
+    assert set(description["sketch"]) == {
+        "queries", "rebases", "trees_built", "samples_skipped",
+    }
