@@ -1,8 +1,8 @@
 """CI benchmark-regression gate over the committed ``BENCH_*.json``.
 
 Compares a freshly measured report against the committed baseline and
-fails when any gated metric regressed by more than the tolerance.  Two
-report kinds, auto-detected:
+fails when any gated metric regressed by more than the tolerance.
+Three report kinds, auto-detected:
 
 ``BENCH_engine.json`` (``bench_engine_throughput.py --json``)
     Gates ``speedup_vs_scalar`` per backend — each backend's
@@ -14,6 +14,13 @@ report kinds, auto-detected:
     measured in the same run, i.e. the serving layer's whole reason
     to exist (the CLI-relative speedup is reported, not gated: its
     numerator includes interpreter startup).
+``BENCH_sketch_build.json`` (``bench_sketch_build.py --json``)
+    Gates ``build_speedup_vs_legacy`` — the batched array-native
+    sketch construction normalized by the legacy per-sample Python
+    build timed in the same run on the same pooled samples.  Also
+    fails hard (regardless of tolerance) if the report says the two
+    builds disagreed, since that is a correctness bug, not a
+    regression.
 
 In both cases the gated number is a *ratio of two same-run
 measurements*: raw ms differ wildly between the machine that committed
@@ -71,6 +78,18 @@ _SERVICE_IDENTITY_PARAMS = (
     "queries_per_client",
 )
 
+# a sketch-build report is one ratio over one workload; every knob
+# shapes both sides of it
+_SKETCH_BUILD_IDENTITY_PARAMS = (
+    "n",
+    "attach",
+    "theta",
+    "seeds",
+    "rng",
+    "workers",
+    "repeats",
+)
+
 
 def _die(message: str) -> None:
     print(message, file=sys.stderr)
@@ -82,6 +101,8 @@ def report_kind(report: dict) -> str | None:
         return "engine"
     if "warm_speedup_vs_cold" in report:
         return "service"
+    if "build_speedup_vs_legacy" in report:
+        return "sketch_build"
     return None
 
 
@@ -93,8 +114,8 @@ def load_report(path: str | Path) -> dict:
         report = json.load(handle)
     if report_kind(report) is None:
         _die(
-            f"error: {path} is neither a BENCH_engine.json nor a "
-            "BENCH_service.json report"
+            f"error: {path} is not a BENCH_engine.json, "
+            "BENCH_service.json or BENCH_sketch_build.json report"
         )
     return report
 
@@ -186,6 +207,39 @@ def compare_service(
     return failures, lines
 
 
+def compare_sketch_build(
+    current: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Sketch-build-report gate vs the baseline.
+
+    Gates ``build_speedup_vs_legacy``: both sides of the ratio are
+    same-process Python/numpy compute over identical pooled samples,
+    so machine speed cancels.  A report with ``identical: false``
+    fails unconditionally — the batched build diverging from the
+    legacy build breaks the refactor's bit-compatibility contract.
+    """
+    _check_params(current, baseline, _SKETCH_BUILD_IDENTITY_PARAMS)
+    failures: list[str] = []
+    lines: list[str] = []
+    if not current.get("identical", False):
+        failures.append("identical")
+        lines.append(
+            "FAIL identical: batched trees diverge from the legacy build"
+        )
+    metric = "build_speedup_vs_legacy"
+    base_speed = float(baseline[metric])
+    cur_speed = float(current[metric])
+    floor = (1.0 - tolerance) * base_speed
+    verdict = "ok" if cur_speed >= floor else "FAIL"
+    lines.append(
+        f"{verdict:<5}{metric:<30} baseline {base_speed:7.2f}x  "
+        f"current {cur_speed:7.2f}x  floor {floor:7.2f}x"
+    )
+    if cur_speed < floor:
+        failures.append(metric)
+    return failures, lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly measured BENCH_engine.json")
@@ -217,6 +271,11 @@ def main(argv: list[str] | None = None) -> int:
             current, baseline, args.tolerance
         )
         metric = "warm speedup vs cold"
+    elif kind == "sketch_build":
+        failures, lines = compare_sketch_build(
+            current, baseline, args.tolerance
+        )
+        metric = "build speedup vs legacy"
     else:
         failures, lines = compare(current, baseline, args.tolerance)
         metric = "speedup vs scalar"

@@ -119,6 +119,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "bench_sketch_vs_mc.py",
         ),
         Experiment(
+            "sketch-build", "§V-B3",
+            "batched array-native sketch construction vs legacy Python",
+            "bench_sketch_build.py",
+        ),
+        Experiment(
             "service-latency", "(extension)",
             "warm repro.service queries vs cold single-shot CLI",
             "bench_service_latency.py",

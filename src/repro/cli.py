@@ -141,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--build-workers", type=int, default=None,
+        help=(
+            "worker processes for each artifact's batched sketch-tree "
+            "builds (default: serial; answers are bit-identical either "
+            "way)"
+        ),
+    )
+    serve.add_argument(
         "--edge-list",
         action="append",
         default=[],
@@ -232,7 +240,11 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
         "--workers",
         type=int,
         default=None,
-        help="worker processes for --engine parallel (default: all cores)",
+        help=(
+            "worker processes: simulation chunks for --engine parallel, "
+            "batched sketch-tree builds for --engine sketch (default: "
+            "all cores / serial)"
+        ),
     )
     sub.add_argument(
         "--eps",
@@ -343,8 +355,8 @@ def _make_engine(args, graph, stream: int = 0):
         if args.workers < 1:
             print("error: --workers must be >= 1")
             raise SystemExit(2)
-        if args.engine != "parallel":
-            print("error: --workers requires --engine parallel")
+        if args.engine not in ("parallel", "sketch"):
+            print("error: --workers requires --engine parallel or sketch")
             raise SystemExit(2)
     if args.engine == "scalar":
         return None
@@ -448,11 +460,15 @@ def _cmd_serve(args) -> int:
     max_bytes = (
         None if args.cache_mb is None else int(args.cache_mb * 2**20)
     )
+    if args.build_workers is not None and args.build_workers < 1:
+        print("error: --build-workers must be >= 1")
+        return 2
     cache = ArtifactCache(
         registry,
         max_entries=args.cache_entries,
         max_bytes=max_bytes,
         cache_dir=args.cache_dir,
+        build_workers=args.build_workers,
     )
     service = BlockerService(registry=registry, cache=cache)
     port = DEFAULT_PORT if args.port is None else args.port

@@ -50,9 +50,15 @@ class IMINInstance:
             if s in seen:
                 raise ValueError(f"duplicate seed {s}")
             seen.add(s)
-        if self.budget > self.graph.n - len(self.seeds):
-            object.__setattr__(
-                self, "budget", self.graph.n - len(self.seeds)
+        candidates = self.graph.n - len(self.seeds)
+        if self.budget > candidates:
+            # an oversized budget is a caller error (typo'd budget,
+            # wrong graph), not something to paper over: silently
+            # mutating a frozen dataclass hid the mismatch from every
+            # downstream consumer comparing budgets across runs
+            raise ValueError(
+                f"budget {self.budget} exceeds the {candidates} "
+                "non-seed vertices available as blockers"
             )
 
     @property

@@ -1,17 +1,28 @@
 """Dominator trees: Lengauer–Tarjan, iterative and naive algorithms."""
 
 from .iterative import immediate_dominators_iterative
-from .lengauer_tarjan import dominator_tree_arrays, immediate_dominators
+from .lengauer_tarjan import (
+    dominator_tree_arrays,
+    dominator_tree_csr,
+    immediate_dominators,
+)
 from .naive import dominator_sets, immediate_dominators_naive
-from .tree import DominatorTree, dominator_order_sizes, subtree_sizes
+from .tree import (
+    DominatorTree,
+    dominator_order_sizes,
+    dominator_order_sizes_csr,
+    subtree_sizes,
+)
 
 __all__ = [
     "immediate_dominators",
     "dominator_tree_arrays",
+    "dominator_tree_csr",
     "immediate_dominators_iterative",
     "immediate_dominators_naive",
     "dominator_sets",
     "DominatorTree",
     "subtree_sizes",
     "dominator_order_sizes",
+    "dominator_order_sizes_csr",
 ]

@@ -1,77 +1,106 @@
-"""Lengauer–Tarjan immediate-dominator computation.
+"""Lengauer–Tarjan immediate-dominator computation, array-native.
 
 This is the algorithm the paper uses to build dominator trees of sampled
 graphs (Section V-B3).  We implement the "simple" O(m log n) variant
 with a union-find forest and path compression, fully iteratively so deep
 sampled graphs cannot overflow the recursion limit.
 
-The input is an out-adjacency mapping (a dict or a list indexed by
-vertex).  Only vertices reachable from ``root`` participate; everything
-else is ignored, which matches the estimator's needs: unreachable
-vertices contribute nothing to the spread.
+The core routine, :func:`dominator_tree_csr`, consumes the graph as
+flat CSR-style arrays (``indptr``/``indices``, numpy arrays or plain
+sequences): vertex ``u``'s successors are
+``indices[indptr[u]:indptr[u + 1]]``.  That is the layout the live-edge
+sample pool already stores, so the sketch estimator's hot path never
+materialises a Python adjacency mapping — the per-sample CSR is cut
+straight out of the pooled arrays with numpy and handed here.  Only
+vertices reachable from ``root`` participate; everything else is
+ignored, which matches the estimator's needs: unreachable vertices
+contribute nothing to the spread.
+
+The historical dict/list-of-list adjacency surface
+(:func:`dominator_tree_arrays`, :func:`immediate_dominators`) survives
+as a thin adapter that flattens the mapping to CSR and delegates, so
+every caller sees identical results — same dominator tree, same DFS
+preorder — regardless of the input layout.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence, Union
 
-__all__ = ["immediate_dominators", "dominator_tree_arrays"]
+__all__ = [
+    "immediate_dominators",
+    "dominator_tree_arrays",
+    "dominator_tree_csr",
+]
 
 Adjacency = Union[Mapping[int, Sequence[int]], Sequence[Sequence[int]]]
 
 
-def _out_edges(succ: Adjacency, u: int) -> Sequence[int]:
-    if isinstance(succ, Mapping):
-        return succ.get(u, ())
-    return succ[u]
-
-
-def dominator_tree_arrays(
-    succ: Adjacency, root: int
+def dominator_tree_csr(
+    indptr: Sequence[int], indices: Sequence[int], root: int
 ) -> tuple[list[int], list[int]]:
-    """Core Lengauer–Tarjan routine on DFS-numbered arrays.
+    """Core Lengauer–Tarjan routine on CSR arrays.
 
-    Returns ``(order, idom)`` where ``order`` lists reachable vertices in
-    DFS preorder (``order[0] == root``) and ``idom[i]`` is the preorder
-    number of the immediate dominator of ``order[i]`` (``idom[0] == 0``).
+    ``indptr`` has one entry per vertex plus a terminator; vertex
+    ``u``'s out-neighbours are ``indices[indptr[u]:indptr[u + 1]]``.
+    Both may be numpy ``int64`` arrays or plain Python sequences — the
+    routine only indexes them, and only for vertices reachable from
+    ``root``, so handing it a huge sample CSR costs work proportional
+    to the reachable subgraph.
 
-    Working in preorder numbers keeps every structure a flat list, and
-    gives the crucial invariant ``idom[w] < w`` used by the subtree-size
-    accumulation of Algorithm 2.
+    Returns ``(order, idom)`` where ``order`` lists reachable vertices
+    in DFS preorder (``order[0] == root``) and ``idom[i]`` is the
+    preorder number of the immediate dominator of ``order[i]``
+    (``idom[0] == 0``).  Working in preorder numbers keeps every
+    structure a flat list, and gives the crucial invariant
+    ``idom[w] < w`` used by the subtree-size accumulation of
+    Algorithm 2.
     """
     # ------------------------------------------------------------------
-    # Step 1: iterative DFS — preorder numbers, tree parents, and the
-    # predecessor lists restricted to reachable vertices.
+    # Step 1: iterative DFS with an explicit edge-cursor stack —
+    # preorder numbers, tree parents.  ``dfn`` is a flat list indexed
+    # by vertex id (-1 = unvisited), so the walk does no hashing.
     # ------------------------------------------------------------------
-    dfn: dict[int, int] = {root: 0}
+    nv = len(indptr) - 1
+    dfn = [-1] * nv
+    dfn[root] = 0
     order: list[int] = [root]
     parent: list[int] = [0]
-    stack = [iter(_out_edges(succ, root))]
-    stack_vertex = [0]
-    while stack:
+    stack_num = [0]
+    stack_cursor = [indptr[root]]
+    stack_end = [indptr[root + 1]]
+    while stack_num:
+        u_num = stack_num[-1]
+        j = stack_cursor[-1]
+        end = stack_end[-1]
         advanced = False
-        u_num = stack_vertex[-1]
-        for v in stack[-1]:
-            if v not in dfn:
-                dfn[v] = len(order)
+        while j < end:
+            v = indices[j]
+            j += 1
+            if dfn[v] < 0:
+                v_num = len(order)
+                dfn[v] = v_num
                 order.append(v)
                 parent.append(u_num)
-                stack.append(iter(_out_edges(succ, v)))
-                stack_vertex.append(dfn[v])
+                stack_cursor[-1] = j
+                stack_num.append(v_num)
+                stack_cursor.append(indptr[v])
+                stack_end.append(indptr[v + 1])
                 advanced = True
                 break
         if not advanced:
-            stack.pop()
-            stack_vertex.pop()
+            stack_num.pop()
+            stack_cursor.pop()
+            stack_end.pop()
 
     size = len(order)
+    # predecessor lists in preorder numbering; every successor of a
+    # reachable vertex is itself reachable, so no membership test
     preds: list[list[int]] = [[] for _ in range(size)]
-    for u in order:
-        u_num = dfn[u]
-        for v in _out_edges(succ, u):
-            v_num = dfn.get(v)
-            if v_num is not None:
-                preds[v_num].append(u_num)
+    for u_num in range(size):
+        u = order[u_num]
+        for j in range(indptr[u], indptr[u + 1]):
+            preds[dfn[indices[j]]].append(u_num)
 
     # ------------------------------------------------------------------
     # Step 2/3: semidominators and implicit immediate dominators.
@@ -127,6 +156,65 @@ def dominator_tree_arrays(
         if idom[w] != semi[w]:
             idom[w] = idom[idom[w]]
 
+    return order, idom
+
+
+def _csr_of_adjacency(
+    succ: Adjacency, root: int
+) -> tuple[list[int], list[int], list | None, int]:
+    """Flatten an adjacency mapping to ``(indptr, indices, back, root)``.
+
+    ``back`` maps dense ids used in the CSR arrays back to the original
+    vertex labels (``None`` when the input was already a dense
+    list-of-lists).  Per-vertex neighbour order is preserved, so the
+    DFS preorder of the flattened graph is the DFS preorder of the
+    original adjacency.
+    """
+    if not isinstance(succ, Mapping):
+        indptr = [0]
+        indices: list[int] = []
+        for nbrs in succ:
+            indices.extend(nbrs)
+            indptr.append(len(indices))
+        return indptr, indices, None, root
+
+    dense: dict = {}
+    back: list = []
+
+    def intern(v) -> int:
+        i = dense.get(v)
+        if i is None:
+            i = len(dense)
+            dense[v] = i
+            back.append(v)
+        return i
+
+    intern(root)
+    rows: dict[int, list[int]] = {}
+    for u, nbrs in succ.items():
+        rows[intern(u)] = [intern(v) for v in nbrs]
+    indptr = [0]
+    indices = []
+    for i in range(len(back)):
+        indices.extend(rows.get(i, ()))
+        indptr.append(len(indices))
+    return indptr, indices, back, 0
+
+
+def dominator_tree_arrays(
+    succ: Adjacency, root: int
+) -> tuple[list[int], list[int]]:
+    """:func:`dominator_tree_csr` over a dict / list-of-list adjacency.
+
+    The historical entry point, kept for the public API and tests: the
+    adjacency is flattened to CSR arrays (preserving neighbour order)
+    and the flat core does the work.  Returns the same ``(order,
+    idom)`` pair, with ``order`` in the original vertex labels.
+    """
+    indptr, indices, back, dense_root = _csr_of_adjacency(succ, root)
+    order, idom = dominator_tree_csr(indptr, indices, dense_root)
+    if back is not None:
+        order = [back[i] for i in order]
     return order, idom
 
 

@@ -15,9 +15,14 @@ from typing import Mapping, Sequence, Union
 
 import numpy as np
 
-from .lengauer_tarjan import dominator_tree_arrays
+from .lengauer_tarjan import dominator_tree_arrays, dominator_tree_csr
 
-__all__ = ["DominatorTree", "subtree_sizes", "dominator_order_sizes"]
+__all__ = [
+    "DominatorTree",
+    "subtree_sizes",
+    "dominator_order_sizes",
+    "dominator_order_sizes_csr",
+]
 
 Adjacency = Union[Mapping[int, Sequence[int]], Sequence[Sequence[int]]]
 
@@ -51,6 +56,24 @@ def dominator_order_sizes(
     loops.
     """
     order, idom = dominator_tree_arrays(succ, root)
+    return (
+        np.asarray(order, dtype=np.int64),
+        np.asarray(subtree_sizes(idom), dtype=np.int64),
+    )
+
+
+def dominator_order_sizes_csr(
+    indptr: Sequence[int], indices: Sequence[int], root: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`dominator_order_sizes` straight off CSR arrays.
+
+    The hot-path form used by the batched sketch builder: the sampled
+    graph arrives as flat ``indptr``/``indices`` arrays (cut out of the
+    pooled sample arrays with numpy, no Python adjacency ever built)
+    and the payload comes back as flat int64 arrays ready for
+    ``np.add.at`` aggregation.
+    """
+    order, idom = dominator_tree_csr(indptr, indices, root)
     return (
         np.asarray(order, dtype=np.int64),
         np.asarray(subtree_sizes(idom), dtype=np.int64),

@@ -12,7 +12,13 @@ form.  Four pieces:
     with hit/miss stats — the paper's sample-reuse trick generalised
     across queries and processes.
 :mod:`repro.engine.parallel`
-    Worker-pool executor with deterministic per-worker RNG streams.
+    Worker-pool executor with deterministic per-worker RNG streams,
+    plus the shared ship-the-CSR-once pool infrastructure
+    (:func:`make_worker_pool`) other parallel components reuse.
+:mod:`repro.engine.treebuild`
+    Batched, array-native construction of per-sample dominator trees
+    straight from the pooled sample arrays — serial or fanned out
+    across cores, bit-identical either way.
 :mod:`repro.engine.sketch`
     The dominator-tree sketch index — the paper's Algorithm 2
     estimator as a persistent, incrementally-rebased backend with O(1)
@@ -47,6 +53,7 @@ from .kernels import (
 from .parallel import default_workers, ParallelEvaluator, split_rounds
 from .pool import PoolStats, SampleBatch, SamplePool
 from .sketch import SketchIndex, SketchStats
+from .treebuild import build_sample_tree, build_trees, TreeBuilder
 
 __all__ = [
     "SketchIndex",
@@ -69,4 +76,7 @@ __all__ = [
     "PoolStats",
     "default_workers",
     "split_rounds",
+    "build_sample_tree",
+    "build_trees",
+    "TreeBuilder",
 ]

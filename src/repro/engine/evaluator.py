@@ -260,12 +260,14 @@ def make_evaluator(
     backend:
         One of :data:`BACKENDS`.
     workers:
-        Worker processes (``parallel`` backend only; default: all
-        cores).
+        Worker processes: simulation chunks for the ``parallel``
+        backend (default: all cores), batched dominator-tree
+        construction for the ``sketch`` backend (default: serial;
+        results are bit-identical either way).
     batch_size:
         Cascades simulated per numpy batch (vectorized family).
     cache_dir / cache_key / pool:
-        Sample-pool persistence knobs (``pooled`` backend only).
+        Sample-pool persistence knobs (``pooled``/``sketch`` backends).
     """
     name = backend.lower()
     if name == "scalar":
@@ -290,6 +292,7 @@ def make_evaluator(
             graph,
             rng,
             pool=pool,
+            workers=workers,
             cache_dir=cache_dir,
             cache_key=cache_key,
         )

@@ -45,6 +45,7 @@ __all__ = [
     "batch_spread",
     "batch_activation_counts",
     "reach_counts_from_alive",
+    "sample_csr",
 ]
 
 # soft cap on the (batch, n) activation matrix: ~16M cells = 16 MB of
@@ -280,6 +281,48 @@ def batch_activation_counts(
     _run_batches(csr, seeds, rounds, blocked, batch_size,
                  _coin_survive(gen, _probs32(csr)), None, counts)
     return counts
+
+
+def sample_csr(
+    csr: CSRGraph,
+    positions: np.ndarray,
+    root_targets: Sequence[int],
+    blocked: Iterable[int] = (),
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR arrays of one live-edge sample plus a virtual super-source.
+
+    ``positions`` are the sample's surviving edge positions (ascending,
+    as stored by :class:`~repro.engine.pool.SampleBatch`), so the edge
+    list is already grouped by source in CSR order and the whole
+    construction is a handful of numpy calls — no Python adjacency
+    mapping is ever materialised.  Row ``n`` is the virtual root with
+    deterministic edges to ``root_targets`` (the seed set); edges
+    incident to a ``blocked`` vertex are dropped, which leaves blocked
+    vertices as empty, unreachable rows.
+
+    Returns ``(indptr, indices)`` with ``n + 2`` int64 row pointers,
+    ready for :func:`~repro.dominator.dominator_tree_csr`.
+    """
+    n = csr.n
+    src = csr.src[positions]
+    dst = csr.indices[positions]
+    targets = np.asarray(list(root_targets), dtype=np.int64)
+    blocked_list = list(blocked)
+    if blocked_list:
+        mask = np.zeros(n + 1, dtype=bool)
+        mask[np.asarray(blocked_list, dtype=np.int64)] = True
+        keep = ~(mask[src] | mask[dst])
+        src = src[keep]
+        dst = dst[keep]
+        # root edges are subject to the same filter: a blocked target
+        # must not stay reachable through the virtual source
+        targets = targets[~mask[targets]]
+    counts = np.bincount(src, minlength=n + 1)
+    counts[n] = targets.shape[0]
+    indptr = np.zeros(n + 2, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.concatenate([dst, targets])
+    return indptr, indices
 
 
 def reach_counts_from_alive(

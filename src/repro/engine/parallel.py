@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -34,7 +35,13 @@ from ..graph import CSRGraph, DiGraph
 from ..rng import ensure_rng, RngLike
 from .kernels import batch_cascades
 
-__all__ = ["ParallelEvaluator", "default_workers", "split_rounds"]
+__all__ = [
+    "ParallelEvaluator",
+    "default_workers",
+    "split_rounds",
+    "make_worker_pool",
+    "worker_csr",
+]
 
 # per-process CSR rehydrated by the pool initializer
 _WORKER_CSR: CSRGraph | None = None
@@ -43,6 +50,55 @@ _WORKER_CSR: CSRGraph | None = None
 def default_workers() -> int:
     """Worker count saturating the machine (at least 1)."""
     return max(1, os.cpu_count() or 1)
+
+
+def _start_method() -> str:
+    """The safest available start method for the calling process.
+
+    ``fork`` is the cheapest (CSR arrays shared copy-on-write) but is
+    only safe while the parent is single-threaded: forking with live
+    threads can snapshot a lock held by another thread (malloc arena,
+    gzip, logging) and deadlock the child.  The serving layer builds
+    artifacts from request-handler threads, so under threads we fall
+    back to ``forkserver``/``spawn``, where workers start from a clean
+    process at the cost of pickling the initargs once per worker.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return "fork"
+    for method in ("forkserver", "spawn"):
+        if method in methods:
+            return method
+    return methods[0]
+
+
+def make_worker_pool(csr: CSRGraph, workers: int):
+    """A ``multiprocessing`` pool whose workers hold ``csr`` resident.
+
+    The one piece of worker infrastructure every parallel engine
+    component shares: the frozen CSR arrays are shipped once per
+    worker through the pool initializer (copy-on-write under ``fork``,
+    pickled once per worker otherwise — see :func:`_start_method` for
+    how the method is chosen) and task functions read them back via
+    :func:`worker_csr`.  Used by :class:`ParallelEvaluator` for spread
+    chunks and by :mod:`repro.engine.treebuild` for batched
+    dominator-tree construction.
+    """
+    context = multiprocessing.get_context(_start_method())
+    return context.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(csr.indptr, csr.indices, csr.probs),
+    )
+
+
+def worker_csr() -> CSRGraph:
+    """The CSR snapshot installed in this worker by the initializer."""
+    if _WORKER_CSR is None:
+        raise RuntimeError(
+            "worker_csr() called outside a make_worker_pool worker"
+        )
+    return _WORKER_CSR
 
 
 def split_rounds(rounds: int, workers: int) -> list[int]:
@@ -136,15 +192,7 @@ class ParallelEvaluator:
     # ------------------------------------------------------------------
     def _ensure_pool(self):
         if self._pool is None:
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else "spawn"
-            )
-            self._pool = context.Pool(
-                processes=self.workers,
-                initializer=_init_worker,
-                initargs=(self.csr.indptr, self.csr.indices, self.csr.probs),
-            )
+            self._pool = make_worker_pool(self.csr, self.workers)
         return self._pool
 
     def close(self) -> None:

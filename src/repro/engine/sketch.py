@@ -21,6 +21,12 @@ behind the :class:`~repro.engine.evaluator.SpreadEvaluator` protocol:
 * samples come from a :class:`~repro.engine.pool.SamplePool`, so they
   are chunk-seeded (bit-identical regardless of growth history) and
   shareable with the pooled Monte-Carlo backend and across processes;
+* trees are built **array-native and batched**
+  (:mod:`repro.engine.treebuild`): each sample's CSR is cut straight
+  out of the pooled arrays with numpy and handed to the flat
+  Lengauer–Tarjan core — no per-sample Python adjacency — and a
+  ``workers`` knob fans cold builds and large rebases out across
+  cores with results bit-identical to the serial build;
 * trees are cached per sample and **rebased** incrementally: moving
   from blocker set ``B`` to ``B'`` re-derives only the samples in
   which some added blocker is currently reachable or some removed
@@ -48,11 +54,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..dominator import dominator_order_sizes
 from ..graph import CSRGraph, DiGraph
 from ..rng import RngLike
-from ..sampling import adjacency_from_edges
 from .pool import SampleBatch, SamplePool
+from .treebuild import TreeBuilder
 
 __all__ = ["SketchIndex", "SketchStats"]
 
@@ -73,6 +78,12 @@ class SketchStats:
     """Dominator trees constructed (initial builds + rebases)."""
     samples_skipped: int = 0
     """Samples left untouched by a rebase (the incremental win)."""
+    tree_bytes: int = 0
+    """Resident bytes of the cached per-sample tree arrays (a live
+    gauge, not a counter): grows as views are built, shrinks as views
+    are evicted or the index is closed.  The serving layer adds this
+    to its artifact byte accounting so LRU byte bounds reflect the
+    tree cache, not just the sample pools."""
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -80,6 +91,7 @@ class SketchStats:
             "rebases": self.rebases,
             "trees_built": self.trees_built,
             "samples_skipped": self.samples_skipped,
+            "tree_bytes": self.tree_bytes,
         }
 
 
@@ -98,11 +110,13 @@ class _SketchView:
         batch: SampleBatch,
         seeds: tuple[int, ...],
         stats: SketchStats,
+        builder: TreeBuilder,
     ) -> None:
         self.csr = csr
         self.batch = batch
         self.seeds = seeds
         self.stats = stats
+        self.builder = builder
         self.root = csr.n  # virtual super-source
         self.theta = batch.theta
         self.blocked: frozenset[int] = frozenset()
@@ -115,8 +129,10 @@ class _SketchView:
         self._base_reachable: list[frozenset[int]] = []
         self._delta_sum = np.zeros(csr.n + 1, dtype=np.float64)
         self._spread_sum = 0
-        for t in range(self.theta):
-            order, sizes = self._build_tree(t, self.blocked)
+        # the cold build: every sample's tree in one batched,
+        # array-native pass (fanned out across cores when workers say
+        # so — bit-identical either way)
+        for order, sizes in self._build(range(self.theta), self.blocked):
             self._orders.append(order)
             self._sizes.append(sizes)
             reachable = frozenset(order.tolist())
@@ -127,19 +143,28 @@ class _SketchView:
     # ------------------------------------------------------------------
     # tree construction and aggregation
     # ------------------------------------------------------------------
-    def _build_tree(
-        self, t: int, blocked: frozenset[int]
-    ) -> tuple[np.ndarray, np.ndarray]:
-        succ = adjacency_from_edges(self.csr, self.batch.surviving(t))
-        succ[self.root] = list(self.seeds)
-        if blocked:
-            succ = {
-                u: [v for v in nbrs if v not in blocked]
-                for u, nbrs in succ.items()
-                if u not in blocked
-            }
-        self.stats.trees_built += 1
-        return dominator_order_sizes(succ, self.root)
+    def _build(
+        self, sample_indices, blocked: frozenset[int]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        trees = self.builder.build(
+            self.batch, sample_indices, self.seeds, sorted(blocked)
+        )
+        self.stats.trees_built += len(trees)
+        self.stats.tree_bytes += sum(
+            order.nbytes + sizes.nbytes for order, sizes in trees
+        )
+        return trees
+
+    def drop(self) -> None:
+        """Release the cached trees (view eviction / index close)."""
+        self.stats.tree_bytes -= sum(
+            order.nbytes + sizes.nbytes
+            for order, sizes in zip(self._orders, self._sizes)
+        )
+        self._orders.clear()
+        self._sizes.clear()
+        self._reachable.clear()
+        self._base_reachable.clear()
 
     def _apply(self, order: np.ndarray, sizes: np.ndarray, sign: int) -> None:
         # order[0] is the virtual root; its "subtree" is the whole
@@ -160,18 +185,19 @@ class _SketchView:
             return
         added = blocked - self.blocked
         removed = self.blocked - blocked
-        touched = 0
-        for t in range(self.theta):
-            reachable = self._reachable[t]
-            base = self._base_reachable[t]
-            if not (
-                any(v in reachable for v in added)
-                or any(v in base for v in removed)
-            ):
-                continue
-            touched += 1
+        touched = [
+            t
+            for t in range(self.theta)
+            if any(v in self._reachable[t] for v in added)
+            or any(v in self._base_reachable[t] for v in removed)
+        ]
+        for t, (order, sizes) in zip(
+            touched, self._build(touched, blocked)
+        ):
             self._apply(self._orders[t], self._sizes[t], -1)
-            order, sizes = self._build_tree(t, blocked)
+            self.stats.tree_bytes -= (
+                self._orders[t].nbytes + self._sizes[t].nbytes
+            )
             self._orders[t] = order
             self._sizes[t] = sizes
             self._reachable[t] = frozenset(order.tolist())
@@ -179,7 +205,7 @@ class _SketchView:
         self.blocked = blocked
         if touched:
             self.stats.rebases += 1
-        self.stats.samples_skipped += self.theta - touched
+        self.stats.samples_skipped += self.theta - len(touched)
 
     # ------------------------------------------------------------------
     # queries
@@ -216,6 +242,14 @@ class SketchIndex:
     pool:
         Share an existing :class:`SamplePool` (e.g. with a pooled
         Monte-Carlo evaluator) instead of creating one.
+    workers:
+        Fan tree construction (cold view builds, large rebases) out
+        across this many worker processes via a shared
+        :class:`~repro.engine.treebuild.TreeBuilder` (the pool is
+        created lazily on the first large build and reaped by
+        :meth:`close`).  ``None`` (the default) builds serially; any
+        value yields bit-identical results, so the knob is pure
+        throughput.
     cache_dir / cache_key:
         Sample-pool persistence knobs, forwarded verbatim.
 
@@ -232,6 +266,7 @@ class SketchIndex:
         graph: DiGraph | CSRGraph,
         rng: RngLike = None,
         pool: SamplePool | None = None,
+        workers: int | None = None,
         cache_dir=None,
         cache_key: str | None = None,
     ) -> None:
@@ -242,6 +277,8 @@ class SketchIndex:
                 graph, rng, cache_dir=cache_dir, cache_key=cache_key
             )
         self.csr = self.pool.csr
+        self.workers = workers
+        self.builder = TreeBuilder(self.csr, workers=workers)
         self.stats = SketchStats()
         self._views: dict[tuple[tuple[int, ...], int], _SketchView] = {}
 
@@ -264,16 +301,30 @@ class SketchIndex:
         view = self._views.pop(key, None)
         if view is None:
             view = _SketchView(
-                self.csr, self.pool.get(theta), seed_tuple, self.stats
+                self.csr,
+                self.pool.get(theta),
+                seed_tuple,
+                self.stats,
+                self.builder,
             )
         self._views[key] = view
         while len(self._views) > _MAX_VIEWS:
-            self._views.pop(next(iter(self._views)))
+            self._views.pop(next(iter(self._views))).drop()
         return view
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the cached per-sample tree arrays."""
+        return self.stats.tree_bytes
+
     def close(self) -> None:
-        """Drop the cached views (and join the evaluator lifecycle)."""
+        """Drop the cached views and reap the tree-build worker pool
+        (and join the evaluator lifecycle)."""
+        views = list(self._views.values())
         self._views.clear()
+        for view in views:
+            view.drop()
+        self.builder.close()
 
     def __enter__(self) -> "SketchIndex":
         return self

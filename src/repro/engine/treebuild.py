@@ -1,0 +1,243 @@
+"""Batched, array-native construction of per-sample dominator trees.
+
+The sketch estimator's cold path is "one dominator tree per pooled
+live-edge sample" (Section V-B3).  Historically each tree build
+materialised a Python ``dict`` adjacency of the whole sample — ~``m``
+dict operations per sample to reach a subgraph that is usually a tiny
+fraction of the graph.  This module is the flat-array replacement:
+
+* :func:`build_sample_tree` cuts one sample's CSR straight out of the
+  pooled ``positions`` array with numpy (:func:`~repro.engine.kernels
+  .sample_csr`) and runs the array-native Lengauer–Tarjan core on it —
+  Python-level work scales with the *reachable* subgraph only;
+* :class:`TreeBuilder` batches that over many samples and, when
+  asked, fans the batch out across cores through the shared
+  worker-pool infrastructure of :mod:`repro.engine.parallel` (the
+  same ship-the-CSR-once initializer the parallel spread evaluator
+  uses).  The pool is created lazily on the first fan-out and reused
+  across builds — a long-lived :class:`~repro.engine.sketch
+  .SketchIndex` pays worker startup once, not per rebase — and is
+  reaped by :meth:`TreeBuilder.close` (the index's ``close()`` calls
+  it).  :func:`build_trees` wraps a throwaway builder around one call
+  for one-shot consumers (benchmarks, tests).
+
+Every tree is a pure function of its sample, and the aggregation the
+sketch index performs over trees is exact integer arithmetic in
+float64, so results are bit-identical for any ``workers`` value — and
+bit-identical to the historical per-sample Python path, which is what
+lets the refactor keep blocker selections and spread estimates
+unchanged at fixed seeds (pinned by ``tests/test_sketch.py`` and the
+``bench_sketch_build.py`` identity check).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..dominator import dominator_order_sizes_csr
+from ..graph import CSRGraph
+from .kernels import sample_csr
+from .parallel import make_worker_pool, worker_csr
+from .pool import SampleBatch
+
+__all__ = [
+    "build_sample_tree",
+    "build_trees",
+    "auto_build_workers",
+    "TreeBuilder",
+]
+
+# fan out only when the batch is worth a worker pool: below these
+# bounds the fork/teardown cost exceeds the Python work being split
+_MIN_PARALLEL_TREES = 64
+_MIN_PARALLEL_VERTICES = 2048
+
+
+def auto_build_workers(
+    workers: int | None, trees: int, n: int
+) -> int:
+    """Resolve a ``workers`` request to an effective worker count.
+
+    ``None`` keeps the build serial (the safe default for library
+    callers and tiny test graphs); an explicit count is honoured but
+    capped at one tree per worker, and collapses to serial when the
+    batch is too small for process fan-out to pay for itself.
+    """
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if trees < _MIN_PARALLEL_TREES or n < _MIN_PARALLEL_VERTICES:
+        return 1
+    return min(workers, trees)
+
+
+def build_sample_tree(
+    csr: CSRGraph,
+    positions: np.ndarray,
+    seeds: Sequence[int],
+    blocked: Iterable[int] = (),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dominator preorder and subtree sizes of one live-edge sample.
+
+    ``positions`` are the sample's surviving edge positions; the tree
+    is rooted at the virtual super-source (id ``csr.n``) with edges to
+    ``seeds``, matching Lemma 1's joint-reachability estimator.
+    Returns the ``(order, sizes)`` int64 payload of Algorithm 2.
+    """
+    indptr, indices = sample_csr(csr, positions, seeds, blocked)
+    return dominator_order_sizes_csr(indptr, indices, csr.n)
+
+
+def _build_packed(
+    csr: CSRGraph,
+    offsets: np.ndarray,
+    positions: np.ndarray,
+    seeds: Sequence[int],
+    blocked: Iterable[int],
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    return [
+        build_sample_tree(
+            csr, positions[offsets[t]: offsets[t + 1]], seeds, blocked
+        )
+        for t in range(offsets.shape[0] - 1)
+    ]
+
+
+def _build_trees_task(task):
+    """Worker-side chunk build: unpack, build, re-pack flat.
+
+    Returns ``(lengths, orders, sizes)`` — per-tree lengths plus the
+    concatenated payloads — so one chunk costs one pickle each way.
+    """
+    offsets, positions, seeds, blocked = task
+    trees = _build_packed(worker_csr(), offsets, positions, seeds, blocked)
+    lengths = np.asarray([o.shape[0] for o, _ in trees], dtype=np.int64)
+    if trees:
+        orders = np.concatenate([o for o, _ in trees])
+        sizes = np.concatenate([s for _, s in trees])
+    else:  # pragma: no cover - chunks are never empty
+        orders = sizes = np.zeros(0, dtype=np.int64)
+    return lengths, orders, sizes
+
+
+class TreeBuilder:
+    """Batched tree construction with a reusable worker pool.
+
+    The batched entry point of the sketch construction pipeline:
+    :meth:`build` consumes the pooled sample arrays directly and
+    returns trees aligned with ``sample_indices``.  With ``workers``
+    > 1 (and a batch large enough to amortise process startup) the
+    samples are split into one contiguous chunk per worker; results
+    are bit-identical to the serial build because every tree depends
+    only on its own sample.
+
+    The worker pool is created lazily on the first fan-out and kept
+    for later builds — a greedy loop's rebases and repeated cold view
+    builds share it — so owners must :meth:`close` the builder (the
+    sketch index ties this to its own ``close()``).
+    """
+
+    def __init__(self, csr: CSRGraph, workers: int | None = None) -> None:
+        self.csr = csr
+        self.workers = workers
+        self._pool = None
+        self._pool_size = 0
+
+    def build(
+        self,
+        batch: SampleBatch,
+        sample_indices: Sequence[int],
+        seeds: Sequence[int],
+        blocked: Iterable[int] = (),
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """One ``(order, sizes)`` dominator payload per requested sample."""
+        sample_indices = list(sample_indices)
+        blocked = list(blocked)
+        effective = auto_build_workers(
+            self.workers, len(sample_indices), self.csr.n
+        )
+        if effective <= 1:
+            return [
+                build_sample_tree(
+                    self.csr, batch.surviving(int(t)), seeds, blocked
+                )
+                for t in sample_indices
+            ]
+
+        chunks = np.array_split(
+            np.asarray(sample_indices, dtype=np.int64), effective
+        )
+        chunks = [chunk for chunk in chunks if chunk.shape[0]]
+        tasks = [
+            batch.pack(chunk) + (tuple(seeds), blocked)
+            for chunk in chunks
+        ]
+        results = self._ensure_pool(len(tasks)).map(
+            _build_trees_task, tasks
+        )
+        trees: list[tuple[np.ndarray, np.ndarray]] = []
+        for lengths, orders, sizes in results:
+            bounds = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+            np.cumsum(lengths, out=bounds[1:])
+            for t in range(lengths.shape[0]):
+                trees.append(
+                    (
+                        orders[bounds[t]: bounds[t + 1]],
+                        sizes[bounds[t]: bounds[t + 1]],
+                    )
+                )
+        return trees
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, workers: int):
+        # a pool with spare workers serves a smaller task batch fine;
+        # only grow (never shrink) so rebases after a cold build reuse
+        # the cold build's pool
+        if self._pool is None or self._pool_size < workers:
+            self.close()
+            self._pool = make_worker_pool(self.csr, workers)
+            self._pool_size = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "TreeBuilder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def build_trees(
+    csr: CSRGraph,
+    batch: SampleBatch,
+    sample_indices: Sequence[int],
+    seeds: Sequence[int],
+    blocked: Iterable[int] = (),
+    workers: int | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """One-shot :meth:`TreeBuilder.build` with a throwaway pool.
+
+    Convenience for single-build consumers (benchmarks, tests, ad-hoc
+    scripts); anything building repeatedly over the same graph should
+    hold a :class:`TreeBuilder` to reuse its worker pool.
+    """
+    with TreeBuilder(csr, workers=workers) as builder:
+        return builder.build(batch, sample_indices, seeds, blocked)

@@ -3,9 +3,21 @@
 SNAP distributes graphs as whitespace-separated edge lists with ``#``
 comments; :func:`read_edge_list` accepts that format (with or without a
 third probability column) and relabels arbitrary vertex ids to the
-contiguous ``0 .. n-1`` range the library requires.  Paths ending in
-``.gz`` are decompressed transparently, so SNAP downloads can be
-registered with the service without manual decompression.
+contiguous ``0 .. n-1`` range the library requires.  Real-world edge
+lists are messy, so the parser is deliberately tolerant — and applies
+the same tolerance whether the input is a plain file, an open handle,
+or a ``.gz`` path (decompressed transparently, so SNAP downloads can
+be registered with the service without manual decompression):
+
+* ``#`` and ``%`` comment lines (SNAP and KONECT conventions), also
+  after leading whitespace;
+* blank and whitespace-only lines;
+* any mix of tabs and spaces between columns (SNAP files are
+  tab-separated, hand-edited ones rarely stay that way);
+* CRLF line endings and a UTF-8 byte-order mark;
+
+while malformed data lines raise a :class:`ValueError` that names the
+1-based line number, so a broken download is diagnosable.
 """
 
 from __future__ import annotations
@@ -32,15 +44,20 @@ def read_edge_list(
     """Parse a SNAP-style edge list.
 
     Returns ``(graph, id_map)`` where ``id_map`` maps original vertex
-    labels to the new contiguous ids.  Lines starting with ``#`` are
-    comments; each data line is ``u v`` or ``u v p``.  When
-    ``directed=False`` both directions of every edge are added.  A
-    path with a ``.gz`` suffix is opened through :mod:`gzip`.
+    labels to the new contiguous ids.  Lines starting with ``#`` or
+    ``%`` (after optional leading whitespace) are comments, blank or
+    whitespace-only lines are skipped, and columns may be separated by
+    any mix of tabs and spaces; each data line is ``u v`` or
+    ``u v p``.  When ``directed=False`` both directions of every edge
+    are added.  A path with a ``.gz`` suffix is opened through
+    :mod:`gzip`, with identical parsing behaviour.
     """
     if isinstance(path_or_file, (str, Path)):
         path = Path(path_or_file)
-        opener = gzip.open if path.suffix == ".gz" else open
-        with opener(path, "rt", encoding="utf-8") as handle:
+        opener = gzip.open if path.suffix.lower() == ".gz" else open
+        with opener(
+            path, "rt", encoding="utf-8", errors="replace"
+        ) as handle:
             return read_edge_list(handle, directed, default_probability)
 
     rows: list[tuple[int, int, float]] = []
@@ -53,16 +70,30 @@ def read_edge_list(
             id_map[label] = mapped
         return mapped
 
-    for line in path_or_file:
+    for lineno, line in enumerate(path_or_file, start=1):
+        if lineno == 1:
+            line = line.lstrip("\ufeff")  # tolerate a UTF-8 BOM
         line = line.strip()
-        if not line or line.startswith("#"):
+        if not line or line.startswith(("#", "%")):
             continue
         parts = line.split()
         if len(parts) < 2:
-            raise ValueError(f"malformed edge-list line: {line!r}")
-        u = intern(int(parts[0]))
-        v = intern(int(parts[1]))
-        p = float(parts[2]) if len(parts) >= 3 else default_probability
+            raise ValueError(
+                f"malformed edge-list line {lineno}: {line!r} "
+                "(expected 'u v' or 'u v p')"
+            )
+        try:
+            u = intern(int(parts[0]))
+            v = intern(int(parts[1]))
+            p = (
+                float(parts[2])
+                if len(parts) >= 3
+                else default_probability
+            )
+        except ValueError as error:
+            raise ValueError(
+                f"malformed edge-list line {lineno}: {line!r} ({error})"
+            ) from None
         rows.append((u, v, p))
 
     graph = DiGraph(len(id_map))

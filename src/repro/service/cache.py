@@ -96,6 +96,7 @@ class Artifact:
         key: ArtifactKey,
         graph,
         cache_dir=None,
+        build_workers: int | None = None,
     ) -> None:
         self.key = key
         self.graph = graph
@@ -106,7 +107,12 @@ class Artifact:
             cache_key=f"service-seed{key.seed}",
         )
         self.pooled = build_evaluator(graph, "pooled", pool=self.pool)
-        self.sketch = build_evaluator(graph, "sketch", pool=self.pool)
+        # build_workers fans the sketch's batched dominator-tree
+        # construction (the expensive half of a cold block query)
+        # across processes; answers are bit-identical at any setting
+        self.sketch = build_evaluator(
+            graph, "sketch", pool=self.pool, workers=build_workers
+        )
         # final quality in block() is judged on an *independent* sample
         # stream (same discipline as the CLI's stream-0/stream-1 split):
         # judging on the selection pool would score the winning blocker
@@ -213,8 +219,16 @@ class Artifact:
     # ------------------------------------------------------------------
     @property
     def nbytes(self) -> int:
-        """Resident size estimate: both pools' sample arrays."""
-        return self.pool.nbytes + self.judge.pool.nbytes
+        """Resident size estimate: both pools' sample arrays plus the
+        sketch index's cached per-sample tree arrays (a live gauge —
+        it grows as block queries warm views and shrinks as the index
+        drops them), so the cache's LRU byte bound tracks what the
+        artifact actually holds in memory."""
+        return (
+            self.pool.nbytes
+            + self.judge.pool.nbytes
+            + self.sketch.stats.tree_bytes
+        )
 
     def describe(self) -> dict[str, object]:
         return {
@@ -251,6 +265,7 @@ class ArtifactCache:
         max_entries: int = 8,
         max_bytes: int | None = None,
         cache_dir=None,
+        build_workers: int | None = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -258,6 +273,9 @@ class ArtifactCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.cache_dir = cache_dir
+        self.build_workers = build_workers
+        """Worker processes for each artifact's batched sketch-tree
+        builds (``None`` = serial; answers identical either way)."""
         self.stats = CacheStats()
         self.on_evict: "Callable[[ArtifactKey, Artifact], None] | None" = (
             None
@@ -278,6 +296,11 @@ class ArtifactCache:
             if artifact is not None:
                 self._artifacts.move_to_end(key)
                 self.stats.hits += 1
+                # artifact footprints grow after insertion (block
+                # queries warm sketch views, counted in nbytes), so
+                # the byte bound is re-enforced on hits too; the hit
+                # key was just made most-recent and is never evicted
+                self._shrink()
                 return artifact
             self.stats.misses += 1
             build_lock = self._building.setdefault(key, threading.Lock())
@@ -304,7 +327,12 @@ class ArtifactCache:
         # prepare on a copy: the registry's raw graph is shared by
         # every (model, seed) variant and must stay probability-free
         prepared = prepare_graph(raw.copy(), key.model, rng=key.seed)
-        artifact = Artifact(key, prepared, cache_dir=self.cache_dir)
+        artifact = Artifact(
+            key,
+            prepared,
+            cache_dir=self.cache_dir,
+            build_workers=self.build_workers,
+        )
         self.stats.builds += 1
         if artifact.pool.stats.disk_loads:
             self.stats.rehydrations += 1

@@ -2,11 +2,15 @@
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.dominator import (
+    dominator_order_sizes,
+    dominator_order_sizes_csr,
     dominator_sets,
     dominator_tree_arrays,
+    dominator_tree_csr,
     DominatorTree,
     immediate_dominators,
     immediate_dominators_iterative,
@@ -15,6 +19,24 @@ from repro.dominator import (
 )
 
 from .conftest import random_adjacency
+
+
+def adjacency_to_csr(succ: dict[int, list[int]], n: int):
+    """Flatten a dense 0..n-1 adjacency mapping to numpy CSR arrays."""
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indices: list[int] = []
+    for u in range(n):
+        indices.extend(succ.get(u, ()))
+        indptr[u + 1] = len(indices)
+    return indptr, np.asarray(indices, dtype=np.int64)
+
+
+def random_dag(n: int, edge_prob: float, rnd: random.Random):
+    """Random DAG adjacency (edges only from lower to higher ids)."""
+    return {
+        u: [v for v in range(u + 1, n) if rnd.random() < edge_prob]
+        for u in range(n)
+    }
 
 
 class TestKnownGraphs:
@@ -93,6 +115,51 @@ class TestCrossValidation:
             it = immediate_dominators_iterative(succ, 0)
             naive = immediate_dominators_naive(succ, 0)
             assert lt == it == naive
+
+    @pytest.mark.parametrize("density", [0.08, 0.2, 0.45])
+    @pytest.mark.parametrize("shape", ["cyclic", "dag"])
+    def test_array_native_core_agrees_on_random_digraphs(
+        self, shape, density
+    ):
+        # property-style cross-check of the flat-CSR Lengauer–Tarjan
+        # core against all three adjacency-based implementations: the
+        # idom of every reachable vertex is unique, so four
+        # independently-derived maps must be identical — on DAGs
+        # (where semidominators are trivial) and on cyclic digraphs
+        # (where the union-find forest does real work)
+        rnd = random.Random(int(density * 1000) + len(shape))
+        for _ in range(40):
+            n = rnd.randint(2, 18)
+            make = random_dag if shape == "dag" else random_adjacency
+            succ = make(n, density, rnd)
+            indptr, indices = adjacency_to_csr(succ, n)
+            order, idom = dominator_tree_csr(indptr, indices, 0)
+            csr_map = {
+                int(order[w]): int(order[idom[w]])
+                for w in range(1, len(order))
+            }
+            assert csr_map == immediate_dominators(succ, 0)
+            assert csr_map == immediate_dominators_iterative(succ, 0)
+            assert csr_map == immediate_dominators_naive(succ, 0)
+
+    def test_csr_order_sizes_match_adjacency_order_sizes(self):
+        rnd = random.Random(271)
+        for _ in range(30):
+            n = rnd.randint(2, 16)
+            succ = random_adjacency(n, 0.3, rnd)
+            indptr, indices = adjacency_to_csr(succ, n)
+            a_order, a_sizes = dominator_order_sizes(succ, 0)
+            c_order, c_sizes = dominator_order_sizes_csr(indptr, indices, 0)
+            assert np.array_equal(a_order, c_order)
+            assert np.array_equal(a_sizes, c_sizes)
+
+    def test_csr_core_accepts_plain_lists(self):
+        # 0 -> 1 -> {2, 3} -> 4 as flat lists, no numpy involved
+        indptr = [0, 1, 3, 4, 5, 5]
+        indices = [1, 2, 3, 4, 4]
+        order, idom = dominator_tree_csr(indptr, indices, 0)
+        idom_map = {order[w]: order[idom[w]] for w in range(1, len(order))}
+        assert idom_map == {1: 0, 2: 1, 3: 1, 4: 1}
 
     def test_deep_graph_no_recursion_error(self):
         n = 30000

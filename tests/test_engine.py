@@ -206,6 +206,21 @@ class TestSamplePool:
         assert np.array_equal(np.flatnonzero(alive[t]),
                               np.sort(batch.surviving(t)))
 
+    def test_pack_matches_per_sample_surviving(self, toy):
+        pool = SamplePool(toy, rng=4)
+        batch = pool.get(40)
+        picks = [3, 0, 17, 39]  # arbitrary order, duplicates of layout
+        offsets, positions = batch.pack(picks)
+        assert offsets.shape == (len(picks) + 1,)
+        for i, t in enumerate(picks):
+            assert np.array_equal(
+                positions[offsets[i]: offsets[i + 1]],
+                batch.surviving(t),
+            )
+        empty_offsets, empty_positions = batch.pack([])
+        assert empty_offsets.shape == (1,)
+        assert empty_positions.shape == (0,)
+
     def test_disk_cache_roundtrip(self, toy, tmp_path):
         pool = SamplePool(toy, rng=5, cache_dir=tmp_path)
         batch = pool.get(80)

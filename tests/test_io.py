@@ -82,6 +82,79 @@ class TestReadEdgeList:
         assert graph.m == 1
 
 
+def _write_variant(tmp_path, text: str, compressed: bool):
+    """Materialise ``text`` as a plain or gzip edge-list file."""
+    if compressed:
+        path = tmp_path / "edges.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        path = tmp_path / "edges.txt"
+        path.write_text(text, encoding="utf-8")
+    return path
+
+
+MESSY_TEXT = (
+    "\ufeff# SNAP-style comment\n"
+    "   # indented comment\n"
+    "% KONECT-style comment\n"
+    "\n"
+    "   \t \n"
+    "10\t20\n"
+    "20 30\t0.5\r\n"
+    "\t30\t 40  \n"
+)
+
+
+class TestMessyEdgeLists:
+    """Comment/blank/tab-space tolerance, identical for plain and .gz."""
+
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_messy_input_parses(self, tmp_path, compressed):
+        path = _write_variant(tmp_path, MESSY_TEXT, compressed)
+        graph, id_map = read_edge_list(path)
+        assert (graph.n, graph.m) == (4, 3)
+        assert graph.probability(id_map[20], id_map[30]) == 0.5
+        assert graph.has_edge(id_map[30], id_map[40])
+
+    def test_messy_gz_matches_plain(self, tmp_path):
+        graph_a, map_a = read_edge_list(
+            _write_variant(tmp_path, MESSY_TEXT, False)
+        )
+        graph_b, map_b = read_edge_list(
+            _write_variant(tmp_path, MESSY_TEXT, True)
+        )
+        assert map_a == map_b
+        assert sorted(graph_a.edges()) == sorted(graph_b.edges())
+
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_malformed_line_names_line_number(self, tmp_path, compressed):
+        text = "# header\n1 2\nbroken\n"
+        path = _write_variant(tmp_path, text, compressed)
+        with pytest.raises(ValueError, match="line 3"):
+            read_edge_list(path)
+
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_non_numeric_column_names_line_number(
+        self, tmp_path, compressed
+    ):
+        text = "1 2\n3 four\n"
+        path = _write_variant(tmp_path, text, compressed)
+        with pytest.raises(ValueError, match="line 2"):
+            read_edge_list(path)
+
+    def test_stream_input_gets_same_tolerance(self):
+        graph, id_map = read_edge_list(io.StringIO(MESSY_TEXT))
+        assert (graph.n, graph.m) == (4, 3)
+
+    def test_uppercase_gz_suffix(self, tmp_path):
+        path = tmp_path / "edges.GZ"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("7 8\n")
+        graph, _ = read_edge_list(path)
+        assert graph.m == 1
+
+
 class TestWriteEdgeList:
     def test_without_probabilities(self):
         graph = DiGraph.from_edges(2, [(0, 1, 0.5)])

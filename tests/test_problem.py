@@ -24,9 +24,17 @@ class TestIMINInstance:
         with pytest.raises(ValueError):
             IMINInstance(graph, (0, 0), budget=1)
 
-    def test_budget_clamped_to_candidate_count(self):
+    def test_oversized_budget_rejected(self):
+        # historically the frozen dataclass silently clamped the
+        # budget via object.__setattr__; an impossible budget is now a
+        # validation error like every other impossible parameter
         graph = DiGraph(3)
-        instance = IMINInstance(graph, (0,), budget=10)
+        with pytest.raises(ValueError, match="exceeds the 2 non-seed"):
+            IMINInstance(graph, (0,), budget=10)
+
+    def test_budget_equal_to_candidate_count_accepted(self):
+        graph = DiGraph(3)
+        instance = IMINInstance(graph, (0,), budget=2)
         assert instance.budget == 2
 
 

@@ -163,6 +163,52 @@ class TestArtifactCache:
         assert len(cache) == 1
         assert cache.stats.evictions == 1
 
+    def test_byte_accounting_includes_sketch_trees(self, cache):
+        # the LRU byte bound must see the tree cache, not just the
+        # sample pools: a block query warms a sketch view, and the
+        # artifact's reported footprint grows by exactly the bytes
+        # the SketchStats gauge reports
+        artifact = cache.get(TOY_KEY)
+        pools_only = artifact.pool.nbytes + artifact.judge.pool.nbytes
+        assert artifact.sketch.stats.tree_bytes == 0
+        assert artifact.nbytes == pools_only
+        artifact.block([0], budget=1)
+        tree_bytes = artifact.sketch.stats.tree_bytes
+        assert tree_bytes > 0
+        pools_only = artifact.pool.nbytes + artifact.judge.pool.nbytes
+        assert artifact.nbytes == pools_only + tree_bytes
+        assert cache.describe()["total_bytes"] == artifact.nbytes
+        artifact.close()
+        assert artifact.sketch.stats.tree_bytes == 0
+
+    def test_byte_bound_enforced_on_hits(self, registry):
+        # artifact footprints grow after insertion (sketch views);
+        # a later *hit* must re-check the byte bound and evict the
+        # LRU entry, or a hit-only workload holds memory forever
+        cache = ArtifactCache(registry, max_entries=10)
+        old_key = ArtifactKey("toy", "wc", 50, 1)
+        hot_key = ArtifactKey("toy", "wc", 50, 2)
+        old = cache.get(old_key)
+        hot = cache.get(hot_key)
+        # cap at the current footprint, then grow the hot artifact's
+        # tree cache past it via a block query
+        cache.max_bytes = old.nbytes + hot.nbytes
+        hot.block([0], budget=1)
+        assert hot.sketch.stats.tree_bytes > 0
+        cache.get(hot_key)  # a pure hit
+        assert cache.stats.evictions == 1
+        assert old_key not in cache.keys()
+        assert hot_key in cache.keys()
+
+    def test_build_workers_param_threads_through(self, registry):
+        cache = ArtifactCache(registry, build_workers=2)
+        artifact = cache.get(TOY_KEY)
+        assert artifact.sketch.workers == 2
+        # the toy graph is far below the fan-out floor, so queries
+        # stay serial — and answers are key-determined regardless
+        outcome = artifact.block([0], budget=1)
+        assert outcome["blockers"]
+
     def test_rehydration_from_disk(self, registry, tmp_path):
         cache = ArtifactCache(
             registry, max_entries=1, cache_dir=tmp_path
@@ -587,4 +633,5 @@ def test_artifact_exposes_engine_stats(cache):
     assert description["pool"]["generated"] >= 100
     assert set(description["sketch"]) == {
         "queries", "rebases", "trees_built", "samples_skipped",
+        "tree_bytes",
     }

@@ -20,12 +20,40 @@ from repro.core import (
 )
 from repro.core.lazy import celf_select, make_gain_fn, supports_marginal_gain
 from repro.datasets.toy import figure1_graph, figure1_seed, V
-from repro.engine import make_evaluator, SketchIndex
+from repro.dominator import dominator_order_sizes
+from repro.engine import build_trees, make_evaluator, SketchIndex, TreeBuilder
 from repro.engine.pool import SamplePool
-from repro.sampling import ICSampler, required_samples, resolve_theta
+from repro.engine.treebuild import auto_build_workers
+from repro.graph import barabasi_albert, CSRGraph
+from repro.models import assign_weighted_cascade
+from repro.sampling import (
+    adjacency_from_edges,
+    ICSampler,
+    required_samples,
+    resolve_theta,
+)
 from repro.spread.exact import exact_expected_spread
 
 EPS = 0.3  # Theorem-5 relative error targeted by the cross-validation
+
+
+def legacy_sample_trees(csr, batch, seeds, blocked=frozenset()):
+    """The pre-refactor per-sample Python build: dict adjacency +
+    adjacency-based Lengauer–Tarjan, with blocked vertices filtered
+    out of the mapping.  The reference the array-native batched path
+    must match bit-for-bit."""
+    trees = []
+    for t in range(batch.theta):
+        succ = adjacency_from_edges(csr, batch.surviving(t))
+        succ[csr.n] = list(seeds)
+        if blocked:
+            succ = {
+                u: [v for v in nbrs if v not in blocked]
+                for u, nbrs in succ.items()
+                if u not in blocked
+            }
+        trees.append(dominator_order_sizes(succ, csr.n))
+    return trees
 
 
 @pytest.fixture
@@ -103,6 +131,165 @@ class TestCrossValidation:
         assert sketch.expected_spread(seeds, 80) == pooled.expected_spread(
             seeds, 80
         )
+
+
+class TestArrayNativeBuild:
+    """The batched CSR build path vs the legacy per-sample Python path.
+
+    The refactor's compatibility bar: blocker selections and spread
+    estimates must stay bit-identical at fixed seeds, which reduces to
+    per-sample dominator payloads (and hence the aggregated arrays)
+    being identical between the two construction pipelines.
+    """
+
+    @pytest.mark.parametrize(
+        "blocked", [frozenset(), frozenset({V(5)}), frozenset({V(2), V(4)})]
+    )
+    def test_trees_match_legacy_python_build(self, toy, blocked):
+        csr = CSRGraph(toy)
+        pool = SamplePool(csr, rng=17)
+        batch = pool.get(120)
+        seeds = (figure1_seed,)
+        legacy = legacy_sample_trees(csr, batch, seeds, blocked)
+        new = build_trees(
+            csr, batch, range(batch.theta), seeds, sorted(blocked)
+        )
+        for (l_order, l_sizes), (n_order, n_sizes) in zip(legacy, new):
+            assert np.array_equal(l_order, n_order)
+            assert np.array_equal(l_sizes, n_sizes)
+
+    def test_trees_match_legacy_on_wc_graph(self):
+        # a mid-size weighted-cascade graph: multi-seed virtual root,
+        # real merges in the dominator tree, probabilistic reachability
+        graph = assign_weighted_cascade(barabasi_albert(300, 3, rng=5))
+        csr = CSRGraph(graph)
+        pool = SamplePool(csr, rng=5)
+        batch = pool.get(60)
+        seeds = (3, 41, 250)
+        for blocked in (frozenset(), frozenset({7, 80, 123})):
+            legacy = legacy_sample_trees(csr, batch, seeds, blocked)
+            new = build_trees(
+                csr, batch, range(batch.theta), seeds, sorted(blocked)
+            )
+            for (l_order, l_sizes), (n_order, n_sizes) in zip(legacy, new):
+                assert np.array_equal(l_order, n_order)
+                assert np.array_equal(l_sizes, n_sizes)
+
+    def test_sketch_aggregates_match_legacy_aggregation(self, toy):
+        # the view's delta_sum/spread_sum are exact integer sums in
+        # float64, so the refactor must reproduce them bit-for-bit
+        csr = CSRGraph(toy)
+        pool = SamplePool(csr, rng=9)
+        theta = 100
+        sketch = SketchIndex(toy, pool=pool)
+        sweep = sketch.decrease_estimates([figure1_seed], theta)
+        spread = sketch.expected_spread([figure1_seed], theta)
+        legacy = legacy_sample_trees(
+            csr, pool.get(theta), (figure1_seed,)
+        )
+        delta = np.zeros(csr.n + 1, dtype=np.float64)
+        total = 0
+        for order, sizes in legacy:
+            total += order.shape[0] - 1
+            np.add.at(
+                delta, order[1:], sizes[1:].astype(np.float64)
+            )
+        assert spread == total / theta
+        assert np.array_equal(sweep, delta[: csr.n] / theta)
+
+    def test_blocked_seed_matches_legacy_build(self, toy):
+        # the legacy dict path filtered blocked vertices out of the
+        # virtual root's target list too; a blocked seed must not stay
+        # reachable through the super-source (SketchIndex forbids the
+        # combination outright, but the public build_trees API must
+        # still mirror the legacy semantics)
+        csr = CSRGraph(toy)
+        pool = SamplePool(csr, rng=21)
+        batch = pool.get(30)
+        seeds = (figure1_seed, V(9))
+        blocked = frozenset({V(9), V(5)})
+        legacy = legacy_sample_trees(csr, batch, seeds, blocked)
+        new = build_trees(
+            csr, batch, range(batch.theta), seeds, sorted(blocked)
+        )
+        for (l_order, l_sizes), (n_order, n_sizes) in zip(legacy, new):
+            assert np.array_equal(l_order, n_order)
+            assert np.array_equal(l_sizes, n_sizes)
+            assert V(9) not in n_order
+
+    def test_parallel_build_bit_identical(self):
+        # big enough that auto_build_workers allows fan-out: the split
+        # across worker processes must not change a single byte
+        graph = assign_weighted_cascade(barabasi_albert(2100, 2, rng=3))
+        csr = CSRGraph(graph)
+        pool = SamplePool(csr, rng=3)
+        batch = pool.get(70)
+        seeds = (11, 900)
+        serial = build_trees(csr, batch, range(70), seeds)
+        parallel = build_trees(csr, batch, range(70), seeds, workers=2)
+        for (s_order, s_sizes), (p_order, p_sizes) in zip(serial, parallel):
+            assert np.array_equal(s_order, p_order)
+            assert np.array_equal(s_sizes, p_sizes)
+
+    def test_tree_builder_reuses_worker_pool(self):
+        # the pool is created on the first fan-out and shared by later
+        # builds; close() reaps it (and is idempotent)
+        graph = assign_weighted_cascade(barabasi_albert(2100, 2, rng=3))
+        csr = CSRGraph(graph)
+        pool = SamplePool(csr, rng=3)
+        batch = pool.get(70)
+        with TreeBuilder(csr, workers=2) as builder:
+            assert builder._pool is None  # lazy until a large build
+            first = builder.build(batch, range(70), (11, 900))
+            worker_pool = builder._pool
+            assert worker_pool is not None
+            second = builder.build(batch, range(70), (11, 900))
+            assert builder._pool is worker_pool  # reused, not rebuilt
+        assert builder._pool is None
+        builder.close()
+        for (a_order, a_sizes), (b_order, b_sizes) in zip(first, second):
+            assert np.array_equal(a_order, b_order)
+            assert np.array_equal(a_sizes, b_sizes)
+
+    def test_sketch_close_reaps_builder(self, toy):
+        sketch = SketchIndex(toy, rng=13, workers=2)
+        assert sketch.builder.workers == 2
+        sketch.expected_spread([figure1_seed], 50)  # tiny: stays serial
+        assert sketch.builder._pool is None
+        sketch.close()
+
+    def test_auto_build_workers_guards(self):
+        # None = serial; small batches and small graphs collapse to
+        # serial; real requests are capped at one tree per worker
+        assert auto_build_workers(None, 1000, 100_000) == 1
+        assert auto_build_workers(8, 10, 100_000) == 1
+        assert auto_build_workers(8, 1000, 64) == 1
+        assert auto_build_workers(8, 100, 100_000) == 8
+        assert auto_build_workers(200, 100, 100_000) == 100
+        with pytest.raises(ValueError):
+            auto_build_workers(0, 100, 100_000)
+
+    def test_tree_bytes_gauge(self, toy):
+        sketch = SketchIndex(toy, rng=13)
+        assert sketch.stats.tree_bytes == 0
+        sketch.expected_spread([figure1_seed], 80)
+        view = next(iter(sketch._views.values()))
+        expected = sum(
+            order.nbytes + sizes.nbytes
+            for order, sizes in zip(view._orders, view._sizes)
+        )
+        assert expected > 0
+        assert sketch.stats.tree_bytes == expected
+        assert sketch.nbytes == expected
+        # a rebase replaces arrays; the gauge must track the live set
+        sketch.expected_spread([figure1_seed], 80, [V(5)])
+        live = sum(
+            order.nbytes + sizes.nbytes
+            for order, sizes in zip(view._orders, view._sizes)
+        )
+        assert sketch.stats.tree_bytes == live
+        sketch.close()
+        assert sketch.stats.tree_bytes == 0
 
 
 class TestDeterminism:
