@@ -1,0 +1,277 @@
+"""Greedy selection loop: arena-backed query path vs the pre-arena one.
+
+PR 4 made the cold sketch *build* array-native; this benchmark times
+the other half of Algorithm 2's life — the per-selection rebase + gains
+sweep inside the CELF greedy loop, the hot path of every ``block``
+query the service answers.  Both sides run the same greedy
+(:func:`repro.core.advanced_greedy.lazy_blocking`) over the **same
+pooled samples** and must produce bit-identical blocker sets, gains
+and spread estimates; they differ only in the sketch view layout:
+
+* **legacy** — the pre-arena query path, preserved verbatim as
+  ``SketchIndex(layout="legacy")``: Python lists of per-sample
+  ``(order, sizes)`` arrays, one ``frozenset`` reachable set per
+  sample, a Python touch scan over all ``theta`` samples per rebase,
+  per-sample scatter updates, per-sample Python tree rebuilds;
+* **arena** — ``SketchIndex(layout="arena")``: pooled tree arena +
+  inverted membership index (vectorized touch detection, one batched
+  delta scatter, one flat write-back) with touched trees rebuilt by
+  the compiled batched kernel (:mod:`repro.native`) when the host has
+  a C compiler, the Python path otherwise.
+
+A rebase microbench row isolates one representative blocker-set
+transition (first pick's rebase + whole-candidate sweep) from the
+CELF machinery around it.
+
+Timing excludes sampling (shared pool) and is a same-process
+Python-vs-Python ratio, so machine speed cancels.  The acceptance
+bar: on the 10k-vertex WC graph at theta=1000 the arena selection
+loop must be >= 5x faster end-to-end.  ``--json PATH`` writes
+``BENCH_sketch_query.json``; CI gates ``select_speedup_vs_legacy``
+against the committed baseline via
+``benchmarks/check_bench_regression.py`` (report kind auto-detected;
+an identity failure is a hard fail regardless of tolerance).
+
+Run standalone::
+
+    python benchmarks/bench_sketch_query.py --n 2000 --theta 150 \\
+        --no-check
+    python benchmarks/bench_sketch_query.py --json BENCH_sketch_query.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench import format_table, pick_seeds
+from repro.core.advanced_greedy import lazy_blocking
+from repro.engine import SketchIndex
+from repro.engine.pool import SamplePool
+from repro.graph import barabasi_albert, CSRGraph
+from repro.models import assign_weighted_cascade
+from repro.native import native_build_available
+
+try:  # pytest package context vs standalone script
+    from .conftest import emit
+except ImportError:  # pragma: no cover - script mode
+    def emit(name: str, text: str) -> None:
+        print(text)
+
+RESULT_FILE = "sketch_query"
+JSON_SCHEMA = 1
+TARGET_SPEEDUP = 5.0
+
+
+def run_query_benchmark(
+    n: int = 10_000,
+    attach: int = 5,
+    theta: int = 1000,
+    num_seeds: int = 10,
+    budget: int = 20,
+    rng: int = 7,
+    repeats: int = 2,
+) -> dict[str, object]:
+    """Time the greedy selection loop under both view layouts."""
+    graph = assign_weighted_cascade(barabasi_albert(n, attach, rng=rng))
+    seeds = pick_seeds(graph, num_seeds, rng=rng)
+    csr = CSRGraph(graph)
+    pool = SamplePool(csr, rng=rng)
+    pool.get(theta)  # shared samples: excluded from every timing
+
+    def once(layout: str):
+        with SketchIndex(csr, pool=pool, layout=layout) as index:
+            start = time.perf_counter()
+            index.expected_spread(seeds, theta)
+            t_cold = time.perf_counter() - start
+            start = time.perf_counter()
+            result = lazy_blocking(graph, seeds, budget, theta, index)
+            t_select = time.perf_counter() - start
+            # one representative transition on a fresh warm view: the
+            # top pick's rebase plus the whole-candidate gains sweep
+            with SketchIndex(csr, pool=pool, layout=layout) as fresh:
+                fresh.expected_spread(seeds, theta)
+                start = time.perf_counter()
+                fresh.decrease_estimates(
+                    seeds, theta, [result.blockers[0]]
+                )
+                t_rebase = time.perf_counter() - start
+            return t_cold, t_select, t_rebase, result
+
+    measurements: dict[str, dict[str, float]] = {}
+    results: dict[str, object] = {}
+    for layout in ("legacy", "arena"):
+        best = {"cold": float("inf"), "select": float("inf"),
+                "rebase": float("inf")}
+        for _ in range(max(1, repeats)):
+            t_cold, t_select, t_rebase, result = once(layout)
+            best["cold"] = min(best["cold"], t_cold)
+            best["select"] = min(best["select"], t_select)
+            best["rebase"] = min(best["rebase"], t_rebase)
+            results[layout] = result
+        measurements[layout] = best
+
+    legacy, arena = results["legacy"], results["arena"]
+    identical = (
+        legacy.blockers == arena.blockers
+        and legacy.round_deltas == arena.round_deltas
+        and legacy.estimated_spread == arena.estimated_spread
+    )
+    return {
+        "n": n,
+        "m": csr.m,
+        "theta": theta,
+        "budget": budget,
+        "picked": len(arena.blockers),
+        "legacy": measurements["legacy"],
+        "arena": measurements["arena"],
+        "select_speedup": (
+            measurements["legacy"]["select"]
+            / measurements["arena"]["select"]
+        ),
+        "rebase_speedup": (
+            measurements["legacy"]["rebase"]
+            / measurements["arena"]["rebase"]
+        ),
+        "cold_speedup": (
+            measurements["legacy"]["cold"] / measurements["arena"]["cold"]
+        ),
+        "identical": identical,
+        "native": native_build_available(),
+    }
+
+
+def render(r: dict[str, object]) -> str:
+    rows = [
+        [
+            phase,
+            f"{1e3 * r['legacy'][key]:.1f}",
+            f"{1e3 * r['arena'][key]:.1f}",
+            f"{r[speed]:.1f}x",
+        ]
+        for phase, key, speed in (
+            ("cold view build", "cold", "cold_speedup"),
+            (f"greedy selection (budget {r['budget']})", "select",
+             "select_speedup"),
+            ("single rebase + gains sweep", "rebase", "rebase_speedup"),
+        )
+    ]
+    verdict = "PASS" if r["select_speedup"] >= TARGET_SPEEDUP else "FAIL"
+    summary = (
+        f"selections bit-identical: {r['identical']}; "
+        f"native kernel: {r['native']}; picked {r['picked']} blockers\n"
+        f"selection-loop speedup vs pre-arena path: "
+        f"{r['select_speedup']:.1f}x "
+        f"(>= {TARGET_SPEEDUP:.0f}x target: {verdict})"
+    )
+    table = format_table(
+        ["phase", "legacy ms", "arena ms", "speedup"],
+        rows,
+        title=(
+            f"sketch query path (n={r['n']}, WC model, "
+            f"theta={r['theta']})"
+        ),
+    )
+    return f"{table}\n{summary}"
+
+
+def to_json(result: dict[str, object], params: dict) -> dict:
+    """The ``BENCH_sketch_query.json`` document (see module docstring)."""
+    return {
+        "schema": JSON_SCHEMA,
+        "params": params,
+        "legacy_select_s": round(float(result["legacy"]["select"]), 6),
+        "arena_select_s": round(float(result["arena"]["select"]), 6),
+        "legacy_rebase_s": round(float(result["legacy"]["rebase"]), 6),
+        "arena_rebase_s": round(float(result["arena"]["rebase"]), 6),
+        "legacy_cold_s": round(float(result["legacy"]["cold"]), 6),
+        "arena_cold_s": round(float(result["arena"]["cold"]), 6),
+        "select_speedup_vs_legacy": round(
+            float(result["select_speedup"]), 3
+        ),
+        "rebase_speedup_vs_legacy": round(
+            float(result["rebase_speedup"]), 3
+        ),
+        "cold_speedup_vs_legacy": round(float(result["cold_speedup"]), 3),
+        "identical": bool(result["identical"]),
+        "native": bool(result["native"]),
+    }
+
+
+def test_sketch_query(benchmark):
+    """pytest-benchmark entry, full acceptance size."""
+    result = benchmark.pedantic(
+        lambda: run_query_benchmark(n=10_000, theta=1000),
+        rounds=1,
+        iterations=1,
+    )
+    emit(RESULT_FILE, render(result))
+    assert result["identical"]
+    assert result["select_speedup"] >= TARGET_SPEEDUP
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--attach", type=int, default=5)
+    parser.add_argument("--theta", type=int, default=1000)
+    parser.add_argument("--seeds", type=int, default=10)
+    parser.add_argument("--budget", type=int, default=20)
+    parser.add_argument("--rng", type=int, default=7)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timings per layout; the best is reported (default: 2)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable BENCH_sketch_query.json",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help=(
+            "report but never fail on the speedup target (for smoke "
+            "runs at sizes the acceptance bar was not defined for)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    result = run_query_benchmark(
+        n=args.n,
+        attach=args.attach,
+        theta=args.theta,
+        num_seeds=args.seeds,
+        budget=args.budget,
+        rng=args.rng,
+        repeats=args.repeats,
+    )
+    emit(RESULT_FILE, render(result))
+    if args.json is not None:
+        params = {
+            "n": args.n,
+            "attach": args.attach,
+            "theta": args.theta,
+            "seeds": args.seeds,
+            "budget": args.budget,
+            "rng": args.rng,
+            "repeats": args.repeats,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(to_json(result, params), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if not result["identical"]:
+        print("FAIL: arena selection diverges from the legacy path")
+        return 1
+    if not args.no_check and result["select_speedup"] < TARGET_SPEEDUP:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,8 +21,16 @@ Three report kinds, auto-detected:
     fails hard (regardless of tolerance) if the report says the two
     builds disagreed, since that is a correctness bug, not a
     regression.
+``BENCH_sketch_query.json`` (``bench_sketch_query.py --json``)
+    Gates ``select_speedup_vs_legacy`` — the arena-backed greedy
+    selection loop normalized by the pre-arena query path run in the
+    same process over the same pooled samples.  Fails hard if the two
+    paths selected different blockers (the arena refactor's
+    bit-compatibility contract); the rebase-microbench and cold-build
+    speedups are reported but not gated (they are noisier slices of
+    the same work the selection ratio already covers).
 
-In both cases the gated number is a *ratio of two same-run
+In every case the gated number is a *ratio of two same-run
 measurements*: raw ms differ wildly between the machine that committed
 the baseline and the CI runner, while the ratio cancels machine speed
 and isolates genuine regressions (a kernel slowdown, a cache that
@@ -90,6 +98,17 @@ _SKETCH_BUILD_IDENTITY_PARAMS = (
     "repeats",
 )
 
+# likewise for the sketch-query report (the greedy selection loop)
+_SKETCH_QUERY_IDENTITY_PARAMS = (
+    "n",
+    "attach",
+    "theta",
+    "seeds",
+    "budget",
+    "rng",
+    "repeats",
+)
+
 
 def _die(message: str) -> None:
     print(message, file=sys.stderr)
@@ -103,6 +122,8 @@ def report_kind(report: dict) -> str | None:
         return "service"
     if "build_speedup_vs_legacy" in report:
         return "sketch_build"
+    if "select_speedup_vs_legacy" in report:
+        return "sketch_query"
     return None
 
 
@@ -115,7 +136,8 @@ def load_report(path: str | Path) -> dict:
     if report_kind(report) is None:
         _die(
             f"error: {path} is not a BENCH_engine.json, "
-            "BENCH_service.json or BENCH_sketch_build.json report"
+            "BENCH_service.json, BENCH_sketch_build.json or "
+            "BENCH_sketch_query.json report"
         )
     return report
 
@@ -240,6 +262,49 @@ def compare_sketch_build(
     return failures, lines
 
 
+def compare_sketch_query(
+    current: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Sketch-query-report gate vs the baseline.
+
+    Gates ``select_speedup_vs_legacy``: both sides of the ratio are
+    same-process compute over identical pooled samples, so machine
+    speed cancels (though the arena side's compiled kernel makes this
+    ratio somewhat more compiler-sensitive than the numpy-vs-numpy
+    gates — CI passes a wider tolerance).  A report with
+    ``identical: false`` fails unconditionally — the arena query path
+    selecting different blockers than the legacy path breaks the
+    refactor's bit-compatibility contract.
+    """
+    _check_params(current, baseline, _SKETCH_QUERY_IDENTITY_PARAMS)
+    failures: list[str] = []
+    lines: list[str] = []
+    if not current.get("identical", False):
+        failures.append("identical")
+        lines.append(
+            "FAIL identical: arena selection diverges from the legacy "
+            "query path"
+        )
+    metric = "select_speedup_vs_legacy"
+    base_speed = float(baseline[metric])
+    cur_speed = float(current[metric])
+    floor = (1.0 - tolerance) * base_speed
+    verdict = "ok" if cur_speed >= floor else "FAIL"
+    lines.append(
+        f"{verdict:<5}{metric:<30} baseline {base_speed:7.2f}x  "
+        f"current {cur_speed:7.2f}x  floor {floor:7.2f}x"
+    )
+    lines.append(
+        "      rebase "
+        f"{current.get('rebase_speedup_vs_legacy', '?')}x, cold "
+        f"{current.get('cold_speedup_vs_legacy', '?')}x, native "
+        f"{current.get('native', '?')} (informational, not gated)"
+    )
+    if cur_speed < floor:
+        failures.append(metric)
+    return failures, lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly measured BENCH_engine.json")
@@ -276,6 +341,11 @@ def main(argv: list[str] | None = None) -> int:
             current, baseline, args.tolerance
         )
         metric = "build speedup vs legacy"
+    elif kind == "sketch_query":
+        failures, lines = compare_sketch_query(
+            current, baseline, args.tolerance
+        )
+        metric = "selection speedup vs legacy"
     else:
         failures, lines = compare(current, baseline, args.tolerance)
         metric = "speedup vs scalar"

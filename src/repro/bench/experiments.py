@@ -124,6 +124,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "bench_sketch_build.py",
         ),
         Experiment(
+            "sketch-query", "§V-C",
+            "arena-backed greedy selection loop vs the pre-arena path",
+            "bench_sketch_query.py",
+        ),
+        Experiment(
             "service-latency", "(extension)",
             "warm repro.service queries vs cold single-shot CLI",
             "bench_service_latency.py",

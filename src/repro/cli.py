@@ -207,6 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--rng", type=int, default=None,
         help="algorithm RNG seed (block op; default: artifact seed)",
     )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "after the op, also fetch the warm artifact's stats "
+            "(sample-pool counters plus the sketch index's "
+            "arena/postings gauges) and attach them to the printed "
+            "reply; `query stats --graph NAME` asks for them directly"
+        ),
+    )
     return parser
 
 
@@ -244,6 +254,17 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
             "worker processes: simulation chunks for --engine parallel, "
             "batched sketch-tree builds for --engine sketch (default: "
             "all cores / serial)"
+        ),
+    )
+    sub.add_argument(
+        "--sketch-layout",
+        choices=("arena", "legacy"),
+        default="arena",
+        help=(
+            "sketch view layout for --engine sketch: arena (pooled "
+            "tree arena + inverted membership index, the fast query "
+            "path; default) or legacy (per-sample reference layout); "
+            "results are bit-identical either way"
         ),
     )
     sub.add_argument(
@@ -363,6 +384,7 @@ def _make_engine(args, graph, stream: int = 0):
     return build_evaluator(
         graph, args.engine, rng=args.rng, stream=stream,
         workers=args.workers,
+        layout=getattr(args, "sketch_layout", "arena"),
     )
 
 
@@ -505,6 +527,17 @@ def _cmd_query(args) -> int:
     try:
         with client:
             response = client.request(args.op, **params)
+            if args.stats and args.op != "stats" and response.get("ok"):
+                # the per-artifact stats form: same key fields, never
+                # builds server-side (peek-only)
+                response["artifact_stats"] = client.request(
+                    "stats",
+                    artifact=True,
+                    graph=args.graph,
+                    model=args.model,
+                    theta=args.theta,
+                    seed=args.seed,
+                ).get("result")
     except (OSError, ServiceError) as error:
         print(
             json.dumps(

@@ -289,12 +289,17 @@ def _best_replacement(
 
 def _argmax(delta, candidates: set[int]) -> int:
     """Candidate with the largest estimated decrease (smallest id on
-    ties); -1 when no candidate has positive decrease."""
-    best = -1
-    best_value = 0.0
-    values = delta.tolist()
-    for u in sorted(candidates):
-        if values[u] > best_value:
-            best = u
-            best_value = values[u]
-    return best
+    ties); -1 when no candidate has positive decrease.
+
+    Vectorized over the candidate set: ``np.argmax`` on the ascending
+    candidate array returns the first maximum, matching the historical
+    ascending scan's smallest-id tie break.
+    """
+    if not candidates:
+        return -1
+    cand = np.asarray(sorted(candidates), dtype=np.int64)
+    values = np.asarray(delta, dtype=np.float64)[cand]
+    best = int(np.argmax(values))
+    if values[best] <= 0.0:
+        return -1
+    return int(cand[best])

@@ -116,15 +116,23 @@ def make_gain_fn(
             # array reads instead of per-vertex evaluator calls
             sweep_cache: dict[tuple[int, ...], object] = {}
 
-            def gain(v: int, picked: Sequence[int]) -> float:
+            def sweep_gains(picked: Sequence[int]):
                 key = tuple(picked)
                 gains = sweep_cache.get(key)
                 if gains is None:
                     sweep_cache.clear()
                     gains = sweep(seed_list, rounds, list(picked))
                     sweep_cache[key] = gains
-                return float(gains[v])
+                return gains
 
+            def gain(v: int, picked: Sequence[int]) -> float:
+                return float(sweep_gains(picked)[v])
+
+            # expose the whole-candidate sweep so celf_select can
+            # build its initial heap from one array instead of one
+            # Python call per candidate (one rebase total; no
+            # per-vertex re-query)
+            gain.bulk = sweep_gains
             return gain
 
         def gain(v: int, picked: Sequence[int]) -> float:
@@ -192,11 +200,20 @@ def celf_select(
     # heap of (-gain, vertex, round-the-gain-was-computed-in); an entry
     # whose round stamp is current is fresh (no candidate's gain can
     # have changed since) and wins the round outright
-    heap: list[tuple[float, int, int]] = []
-    for v in pool:
-        g = gain_fn(v, base)
-        evaluations += 1
-        heap.append((-g, v, 0))
+    bulk = getattr(gain_fn, "bulk", None)
+    if bulk is not None and pool:
+        # whole-candidate sweep: one evaluator query (one rebase)
+        # seeds the entire heap — same values the per-vertex loop
+        # would read, so picks and tie-breaks are unchanged
+        sweep = bulk(base)
+        evaluations += len(pool)
+        heap = [(-float(sweep[v]), v, 0) for v in pool]
+    else:
+        heap = []
+        for v in pool:
+            g = gain_fn(v, base)
+            evaluations += 1
+            heap.append((-g, v, 0))
     heapq.heapify(heap)
 
     while heap and len(picks) < budget:

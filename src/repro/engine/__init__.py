@@ -17,12 +17,16 @@ form.  Four pieces:
     (:func:`make_worker_pool`) other parallel components reuse.
 :mod:`repro.engine.treebuild`
     Batched, array-native construction of per-sample dominator trees
-    straight from the pooled sample arrays — serial or fanned out
-    across cores, bit-identical either way.
+    straight from the pooled sample arrays — through the compiled
+    batched kernel (:mod:`repro.native`) when the host can build it,
+    serial Python or worker fan-out otherwise, bit-identical every
+    way.
 :mod:`repro.engine.sketch`
     The dominator-tree sketch index — the paper's Algorithm 2
     estimator as a persistent, incrementally-rebased backend with O(1)
-    marginal gains.
+    marginal gains; views default to the pooled-arena layout with an
+    inverted membership index (vertex -> samples postings) for
+    vectorized rebases.
 :mod:`repro.engine.evaluator`
     The :class:`SpreadEvaluator` protocol, the backend implementations
     and the :func:`make_evaluator` factory; the scalar
@@ -47,17 +51,20 @@ from .kernels import (
     batch_activation_counts,
     batch_cascades,
     batch_spread,
+    postings_csr,
     ragged_arange,
     reach_counts_from_alive,
 )
 from .parallel import default_workers, ParallelEvaluator, split_rounds
 from .pool import PoolStats, SampleBatch, SamplePool
-from .sketch import SketchIndex, SketchStats
+from .sketch import LAYOUTS, SketchIndex, SketchStats
 from .treebuild import build_sample_tree, build_trees, TreeBuilder
 
 __all__ = [
     "SketchIndex",
     "SketchStats",
+    "LAYOUTS",
+    "postings_csr",
     "SpreadEvaluator",
     "ScalarEvaluator",
     "VectorizedEvaluator",

@@ -252,6 +252,7 @@ def make_evaluator(
     cache_dir=None,
     cache_key: str | None = None,
     pool: SamplePool | None = None,
+    layout: str = "arena",
 ) -> SpreadEvaluator:
     """Construct a spread evaluator for ``graph`` by backend name.
 
@@ -268,6 +269,11 @@ def make_evaluator(
         Cascades simulated per numpy batch (vectorized family).
     cache_dir / cache_key / pool:
         Sample-pool persistence knobs (``pooled``/``sketch`` backends).
+    layout:
+        Sketch view layout (``sketch`` backend only): ``"arena"``
+        (default, the pooled-arena query path) or ``"legacy"`` (the
+        per-sample reference layout) — bit-identical answers either
+        way, see :class:`~repro.engine.sketch.SketchIndex`.
     """
     name = backend.lower()
     if name == "scalar":
@@ -293,6 +299,7 @@ def make_evaluator(
             rng,
             pool=pool,
             workers=workers,
+            layout=layout,
             cache_dir=cache_dir,
             cache_key=cache_key,
         )
@@ -313,6 +320,7 @@ def build_evaluator(
     cache_dir=None,
     cache_key: str | None = None,
     pool: SamplePool | None = None,
+    layout: str = "arena",
 ) -> SpreadEvaluator:
     """:func:`make_evaluator` plus the RNG-stream discipline callers need.
 
@@ -349,4 +357,5 @@ def build_evaluator(
         cache_dir=cache_dir,
         cache_key=cache_key,
         pool=pool,
+        layout=layout,
     )

@@ -46,6 +46,7 @@ __all__ = [
     "batch_activation_counts",
     "reach_counts_from_alive",
     "sample_csr",
+    "postings_csr",
 ]
 
 # soft cap on the (batch, n) activation matrix: ~16M cells = 16 MB of
@@ -323,6 +324,36 @@ def sample_csr(
     np.cumsum(counts, out=indptr[1:])
     indices = np.concatenate([dst, targets])
     return indptr, indices
+
+
+def postings_csr(
+    sample_ids: np.ndarray,
+    vertices: np.ndarray,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inverted membership index: vertex -> samples containing it.
+
+    ``(sample_ids[i], vertices[i])`` pairs state "sample ``t`` reaches
+    vertex ``v``"; ``sample_ids`` must be non-decreasing (the natural
+    order when pairs are emitted sample by sample).  Returns
+    ``(indptr, samples)`` CSR arrays over the ``n`` vertices: the
+    samples reaching ``v`` are ``samples[indptr[v]:indptr[v + 1]]``,
+    **ascending** — a stable counting sort by vertex preserves the
+    sample order within each row, which is what lets consumers binary
+    search rows (and concatenations of rows) by ``v * theta + t``
+    keys.
+
+    This is the construction kernel of the sketch index's
+    inverted membership index (the arena-backed query path): built
+    once per view from the base trees, then patched in place through
+    an aliveness mask as rebases move the blocker set.
+    """
+    if sample_ids.shape != vertices.shape:
+        raise ValueError("sample_ids and vertices must align")
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(vertices, minlength=n), out=indptr[1:])
+    order = np.argsort(vertices, kind="stable")
+    return indptr, sample_ids[order]
 
 
 def reach_counts_from_alive(

@@ -22,11 +22,9 @@ behind the :class:`~repro.engine.evaluator.SpreadEvaluator` protocol:
   are chunk-seeded (bit-identical regardless of growth history) and
   shareable with the pooled Monte-Carlo backend and across processes;
 * trees are built **array-native and batched**
-  (:mod:`repro.engine.treebuild`): each sample's CSR is cut straight
-  out of the pooled arrays with numpy and handed to the flat
-  Lengauer–Tarjan core — no per-sample Python adjacency — and a
-  ``workers`` knob fans cold builds and large rebases out across
-  cores with results bit-identical to the serial build;
+  (:mod:`repro.engine.treebuild`) — via the compiled batched kernel
+  (:mod:`repro.native`) when the host can build it, the pure-Python
+  path otherwise, bit-identical either way;
 * trees are cached per sample and **rebased** incrementally: moving
   from blocker set ``B`` to ``B'`` re-derives only the samples in
   which some added blocker is currently reachable or some removed
@@ -35,6 +33,33 @@ behind the :class:`~repro.engine.evaluator.SpreadEvaluator` protocol:
   array, so :meth:`SketchIndex.marginal_gain` is an O(1) lookup after
   the rebase and a whole greedy round of candidate gains costs one
   array read (Algorithm 2's "all candidates at once" property).
+
+Two view layouts implement that contract (``SketchIndex(layout=...)``,
+default ``"arena"``):
+
+``arena``
+    Per-sample trees live in one pooled **arena** — flat
+    ``order``/``sizes`` arrays plus per-sample ``(start, length)``
+    slots (CSR-of-trees), grown by amortised doubling when a rebuilt
+    tree outgrows its slot.  Reachability is an **inverted membership
+    index**: a CSR postings structure mapping vertex -> samples whose
+    *base* (unblocked) tree reaches it
+    (:func:`repro.engine.kernels.postings_csr`), built once per view,
+    with a per-posting aliveness bit tracking the *current* blocker
+    set.  A rebase unions the postings rows of the moved blockers to
+    find the touched samples (O(affected postings) — no Python loop
+    over ``theta``), applies every touched sample's -/+ subtree-size
+    delta in one batched ``np.bincount`` scatter, patches the
+    aliveness bits with one ``searchsorted`` over ``v * theta + t``
+    keys, and writes the rebuilt trees back into the arena in one
+    flat scatter.
+``legacy``
+    The pre-arena per-sample layout — Python lists of ``(order,
+    sizes)`` arrays, one ``frozenset`` reachable set per sample, a
+    Python touch scan over all ``theta`` samples — kept verbatim as
+    the semantic reference: the parity tests and
+    ``benchmarks/bench_sketch_query.py`` pin the arena layout
+    bit-identical to it (same spreads, gains and blocker selections).
 
 Multi-seed queries use a virtual super-source (id ``n``) with
 deterministic edges to every seed — joint reachability on the *same*
@@ -56,14 +81,17 @@ import numpy as np
 
 from ..graph import CSRGraph, DiGraph
 from ..rng import RngLike
+from .kernels import postings_csr, ragged_arange
 from .pool import SampleBatch, SamplePool
 from .treebuild import TreeBuilder
 
-__all__ = ["SketchIndex", "SketchStats"]
+__all__ = ["SketchIndex", "SketchStats", "LAYOUTS"]
 
 # retained seed-set/theta views (each holds theta cached trees); greedy
 # loops use one view, CLI runs use at most one per (selection, judge)
 _MAX_VIEWS = 4
+
+LAYOUTS: tuple[str, ...] = ("arena", "legacy")
 
 
 @dataclass
@@ -79,11 +107,23 @@ class SketchStats:
     samples_skipped: int = 0
     """Samples left untouched by a rebase (the incremental win)."""
     tree_bytes: int = 0
-    """Resident bytes of the cached per-sample tree arrays (a live
+    """Resident bytes of the cached per-sample tree state (a live
     gauge, not a counter): grows as views are built, shrinks as views
-    are evicted or the index is closed.  The serving layer adds this
-    to its artifact byte accounting so LRU byte bounds reflect the
-    tree cache, not just the sample pools."""
+    are evicted or the index is closed.  For arena views this is the
+    arena plus the inverted membership index (``arena_bytes`` +
+    ``postings_bytes``); for legacy views it is the per-tree array
+    sum.  The gauge is re-synced only after a successful write-back,
+    so a builder failure mid-rebase never leaves it stale.  The
+    serving layer adds this to its artifact byte accounting so LRU
+    byte bounds reflect the tree cache, not just the sample pools."""
+    arena_bytes: int = 0
+    """Resident bytes of the pooled tree arenas (flat order/sizes
+    arrays at capacity, plus the per-sample slot tables).  Zero for
+    legacy-layout views."""
+    postings_bytes: int = 0
+    """Resident bytes of the inverted membership indexes (postings
+    CSR, aliveness bits, search keys, by-sample posting table).  Zero
+    for legacy-layout views."""
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -92,16 +132,21 @@ class SketchStats:
             "trees_built": self.trees_built,
             "samples_skipped": self.samples_skipped,
             "tree_bytes": self.tree_bytes,
+            "arena_bytes": self.arena_bytes,
+            "postings_bytes": self.postings_bytes,
         }
 
 
-class _SketchView:
-    """Per-(seed set, theta) tree cache over a sample batch.
+class _LegacySketchView:
+    """Per-(seed set, theta) tree cache, pre-arena layout.
 
     Holds, for every sample, the dominator tree of the sample *under
     the currently committed blocker set* — as ``(order, sizes)`` flat
-    arrays plus the reachable-vertex set used for touch tests — and
-    the aggregated subtree-size array over all samples.
+    arrays in Python lists plus a ``frozenset`` reachable set per
+    sample used for touch tests — and the aggregated subtree-size
+    array over all samples.  Kept byte-for-byte as the semantic
+    reference the arena layout is benchmarked and parity-tested
+    against.
     """
 
     def __init__(
@@ -129,9 +174,9 @@ class _SketchView:
         self._base_reachable: list[frozenset[int]] = []
         self._delta_sum = np.zeros(csr.n + 1, dtype=np.float64)
         self._spread_sum = 0
+        self._accounted_bytes = 0
         # the cold build: every sample's tree in one batched,
-        # array-native pass (fanned out across cores when workers say
-        # so — bit-identical either way)
+        # array-native pass
         for order, sizes in self._build(range(self.theta), self.blocked):
             self._orders.append(order)
             self._sizes.append(sizes)
@@ -139,6 +184,7 @@ class _SketchView:
             self._reachable.append(reachable)
             self._base_reachable.append(reachable)
             self._apply(order, sizes, +1)
+        self._sync_bytes()
 
     # ------------------------------------------------------------------
     # tree construction and aggregation
@@ -150,17 +196,27 @@ class _SketchView:
             self.batch, sample_indices, self.seeds, sorted(blocked)
         )
         self.stats.trees_built += len(trees)
-        self.stats.tree_bytes += sum(
-            order.nbytes + sizes.nbytes for order, sizes in trees
-        )
         return trees
 
-    def drop(self) -> None:
-        """Release the cached trees (view eviction / index close)."""
-        self.stats.tree_bytes -= sum(
+    def _live_bytes(self) -> int:
+        return sum(
             order.nbytes + sizes.nbytes
             for order, sizes in zip(self._orders, self._sizes)
         )
+
+    def _sync_bytes(self) -> None:
+        # absolute re-sync after a *successful* write-back: the gauge
+        # always reflects what is actually resident, so a builder
+        # failure mid-rebase (which leaves the old trees in place)
+        # cannot strand phantom bytes in the stats
+        live = self._live_bytes()
+        self.stats.tree_bytes += live - self._accounted_bytes
+        self._accounted_bytes = live
+
+    def drop(self) -> None:
+        """Release the cached trees (view eviction / index close)."""
+        self.stats.tree_bytes -= self._accounted_bytes
+        self._accounted_bytes = 0
         self._orders.clear()
         self._sizes.clear()
         self._reachable.clear()
@@ -195,9 +251,6 @@ class _SketchView:
             touched, self._build(touched, blocked)
         ):
             self._apply(self._orders[t], self._sizes[t], -1)
-            self.stats.tree_bytes -= (
-                self._orders[t].nbytes + self._sizes[t].nbytes
-            )
             self._orders[t] = order
             self._sizes[t] = sizes
             self._reachable[t] = frozenset(order.tolist())
@@ -205,6 +258,7 @@ class _SketchView:
         self.blocked = blocked
         if touched:
             self.stats.rebases += 1
+            self._sync_bytes()
         self.stats.samples_skipped += self.theta - len(touched)
 
     # ------------------------------------------------------------------
@@ -229,6 +283,312 @@ class _SketchView:
         return self._delta_sum[: self.csr.n] / self.theta
 
 
+class _ArenaSketchView:
+    """Per-(seed set, theta) tree cache, pooled-arena layout.
+
+    All ``theta`` trees live in two flat int64 arenas (``order`` and
+    ``sizes`` payloads) addressed by per-sample ``(start, length)``
+    slots; reachability lives in an inverted membership index (vertex
+    -> samples, CSR postings with an aliveness bit per posting).
+    Every rebase step — touch detection, -/+ delta aggregation,
+    postings patching, tree write-back — is a constant number of numpy
+    calls over the touched slice, with no Python loop over samples.
+    Answers are bit-identical to :class:`_LegacySketchView`.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        batch: SampleBatch,
+        seeds: tuple[int, ...],
+        stats: SketchStats,
+        builder: TreeBuilder,
+    ) -> None:
+        self.csr = csr
+        self.batch = batch
+        self.seeds = seeds
+        self.stats = stats
+        self.builder = builder
+        self.root = csr.n  # virtual super-source
+        self.theta = batch.theta
+        self.blocked: frozenset[int] = frozenset()
+        n = csr.n
+        self._delta_sum = np.zeros(n + 1, dtype=np.float64)
+        self._accounted_arena = 0
+        self._accounted_postings = 0
+
+        # ---- cold build: one packed batch, written as the arena ----
+        lengths, orders, sizes = builder.build_packed(
+            batch, range(self.theta), seeds, ()
+        )
+        stats.trees_built += self.theta
+        self._lengths = lengths.astype(np.int64, copy=True)
+        starts = np.zeros(self.theta, dtype=np.int64)
+        np.cumsum(self._lengths[:-1], out=starts[1:])
+        self._starts = starts
+        self._used = int(self._lengths.sum())
+        self._order_arena = np.ascontiguousarray(orders, dtype=np.int64)
+        self._sizes_arena = np.ascontiguousarray(sizes, dtype=np.int64)
+        self._spread_sum = int(self._used - self.theta)
+
+        # aggregate all subtree sizes minus each tree's root entry —
+        # one bincount scatter (exact: all-integer float64 arithmetic,
+        # so the ordering vs per-sample np.add.at scatters cancels)
+        payload_mask = np.ones(self._used, dtype=bool)
+        payload_mask[starts] = False
+        verts = self._order_arena[payload_mask]
+        if verts.shape[0]:
+            self._delta_sum += np.bincount(
+                verts,
+                weights=self._sizes_arena[payload_mask].astype(
+                    np.float64
+                ),
+                minlength=n + 1,
+            )
+
+        # ---- inverted membership index over the base trees ----
+        sample_ids = np.repeat(
+            np.arange(self.theta, dtype=np.int64), self._lengths - 1
+        )
+        self._post_indptr, self._post_samples = postings_csr(
+            sample_ids, verts, n
+        )
+        self._post_alive = np.ones(self._post_samples.shape[0], dtype=bool)
+        # keys v * theta + t are globally ascending (vertex-major rows,
+        # samples ascending within a row): one searchsorted resolves
+        # arbitrary (vertex, sample) pairs to posting indices
+        self._post_key = (
+            np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(self._post_indptr)
+            )
+            * self.theta
+            + self._post_samples
+        )
+        # by-sample view of the same postings: row t lists the posting
+        # indices of sample t's base-reachable vertices
+        self._samp_indptr = np.zeros(self.theta + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(self._post_samples, minlength=self.theta),
+            out=self._samp_indptr[1:],
+        )
+        self._samp_pidx = np.argsort(self._post_samples, kind="stable")
+        self._sync_bytes()
+
+    # ------------------------------------------------------------------
+    # byte accounting (all gauges re-synced only after success)
+    # ------------------------------------------------------------------
+    def _arena_nbytes(self) -> int:
+        return int(
+            self._order_arena.nbytes
+            + self._sizes_arena.nbytes
+            + self._starts.nbytes
+            + self._lengths.nbytes
+        )
+
+    def _postings_nbytes(self) -> int:
+        return int(
+            self._post_indptr.nbytes
+            + self._post_samples.nbytes
+            + self._post_alive.nbytes
+            + self._post_key.nbytes
+            + self._samp_indptr.nbytes
+            + self._samp_pidx.nbytes
+        )
+
+    def _sync_bytes(self) -> None:
+        # tree_bytes is by definition the arena + postings total, so
+        # its delta derives from the other two gauges — one source of
+        # truth, no third accumulator to drift
+        arena = self._arena_nbytes()
+        postings = self._postings_nbytes()
+        delta_arena = arena - self._accounted_arena
+        delta_postings = postings - self._accounted_postings
+        self.stats.arena_bytes += delta_arena
+        self.stats.postings_bytes += delta_postings
+        self.stats.tree_bytes += delta_arena + delta_postings
+        self._accounted_arena = arena
+        self._accounted_postings = postings
+
+    def drop(self) -> None:
+        """Release the arena and postings (view eviction / close)."""
+        self.stats.arena_bytes -= self._accounted_arena
+        self.stats.postings_bytes -= self._accounted_postings
+        self.stats.tree_bytes -= (
+            self._accounted_arena + self._accounted_postings
+        )
+        self._accounted_arena = 0
+        self._accounted_postings = 0
+        empty = np.zeros(0, dtype=np.int64)
+        self._order_arena = self._sizes_arena = empty
+        self._starts = self._lengths = empty
+        self._post_indptr = self._post_samples = empty
+        self._post_key = self._samp_indptr = self._samp_pidx = empty
+        self._post_alive = np.zeros(0, dtype=bool)
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # rebase: move the committed blocker set, touching few samples
+    # ------------------------------------------------------------------
+    def _touched(
+        self, added: frozenset[int], removed: frozenset[int]
+    ) -> np.ndarray:
+        """Samples needing a rebuild: union of the postings rows of
+        every moved blocker — *currently alive* postings for added
+        blockers (is the vertex reachable right now?), *base* postings
+        for removed ones (could unblocking expose it?)."""
+        parts: list[np.ndarray] = []
+        if added:
+            rows = self._postings_rows(added)
+            parts.append(self._post_samples[rows[self._post_alive[rows]]])
+        if removed:
+            parts.append(self._post_samples[self._postings_rows(removed)])
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def _postings_rows(self, vertices: Iterable[int]) -> np.ndarray:
+        """Concatenated posting indices of the given vertices' rows."""
+        vs = np.asarray(sorted(vertices), dtype=np.int64)
+        counts = self._post_indptr[vs + 1] - self._post_indptr[vs]
+        return np.repeat(self._post_indptr[vs], counts) + ragged_arange(
+            counts
+        )
+
+    def rebase(self, blocked: frozenset[int]) -> None:
+        if blocked == self.blocked:
+            return
+        touched = self._touched(
+            blocked - self.blocked, self.blocked - blocked
+        )
+        if touched.shape[0]:
+            # build first: a builder failure raises here, before any
+            # state (deltas, postings, arena, byte gauges) is touched
+            lengths, orders, sizes = self.builder.build_packed(
+                self.batch, touched, self.seeds, sorted(blocked)
+            )
+            self.stats.trees_built += int(touched.shape[0])
+            self._writeback(touched, lengths, orders, sizes)
+            self.stats.rebases += 1
+            self._sync_bytes()
+        self.blocked = blocked
+        self.stats.samples_skipped += self.theta - int(touched.shape[0])
+
+    def _writeback(
+        self,
+        touched: np.ndarray,
+        lengths: np.ndarray,
+        orders: np.ndarray,
+        sizes: np.ndarray,
+    ) -> None:
+        """Swap the touched samples' trees: one batched delta scatter,
+        one postings patch, one arena scatter."""
+        old_lengths = self._lengths[touched]
+        old_flat = np.repeat(
+            self._starts[touched], old_lengths
+        ) + ragged_arange(old_lengths)
+        old_orders = self._order_arena[old_flat]
+        old_sizes = self._sizes_arena[old_flat]
+        old_mask = _payload_mask(old_lengths)
+        new_mask = _payload_mask(lengths)
+
+        # -/+ subtree-size deltas of every touched sample in one
+        # bincount scatter (all-integer float64 arithmetic, so the
+        # reordering vs the per-sample legacy scatters is exact)
+        verts = np.concatenate(
+            [old_orders[old_mask], orders[new_mask]]
+        )
+        weights = np.concatenate(
+            [
+                -old_sizes[old_mask].astype(np.float64),
+                sizes[new_mask].astype(np.float64),
+            ]
+        )
+        if verts.shape[0]:
+            self._delta_sum += np.bincount(
+                verts, weights=weights, minlength=self.csr.n + 1
+            )
+        self._spread_sum += int(lengths.sum()) - int(old_lengths.sum())
+
+        # postings patch: kill every touched sample's postings, then
+        # revive the (vertex, sample) pairs its new tree still reaches
+        # — new reachability is always a subset of base reachability,
+        # so every pair resolves to an existing posting
+        kill_counts = (
+            self._samp_indptr[touched + 1] - self._samp_indptr[touched]
+        )
+        kill = np.repeat(
+            self._samp_indptr[touched], kill_counts
+        ) + ragged_arange(kill_counts)
+        self._post_alive[self._samp_pidx[kill]] = False
+        revive_keys = orders[new_mask] * self.theta + np.repeat(
+            touched, lengths - 1
+        )
+        self._post_alive[
+            np.searchsorted(self._post_key, revive_keys)
+        ] = True
+
+        # arena write-back: in place when the new tree fits its slot
+        # (the common case — blocking shrinks trees), appended with
+        # amortised doubling when it grew (blockers removed)
+        fits = lengths <= old_lengths
+        dest = np.where(fits, self._starts[touched], 0)
+        if not fits.all():
+            grow_lengths = lengths[~fits]
+            total = int(grow_lengths.sum())
+            self._ensure_capacity(self._used + total)
+            grow_starts = np.zeros(grow_lengths.shape[0], dtype=np.int64)
+            np.cumsum(grow_lengths[:-1], out=grow_starts[1:])
+            dest[~fits] = self._used + grow_starts
+            self._used += total
+        dest_flat = np.repeat(dest, lengths) + ragged_arange(lengths)
+        self._order_arena[dest_flat] = orders
+        self._sizes_arena[dest_flat] = sizes
+        self._starts[touched] = dest
+        self._lengths[touched] = lengths
+
+    def _ensure_capacity(self, need: int) -> None:
+        cap = self._order_arena.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+        for name in ("_order_arena", "_sizes_arena"):
+            grown = np.empty(new_cap, dtype=np.int64)
+            grown[: self._used] = getattr(self, name)[: self._used]
+            setattr(self, name, grown)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def spread(self, blocked: frozenset[int]) -> float:
+        self.rebase(blocked)
+        self.stats.queries += 1
+        return self._spread_sum / self.theta
+
+    def gain(self, v: int, blocked: frozenset[int]) -> float:
+        self.rebase(blocked)
+        self.stats.queries += 1
+        if v in blocked:
+            return 0.0
+        return float(self._delta_sum[v]) / self.theta
+
+    def gains(self, blocked: frozenset[int]) -> np.ndarray:
+        """Every vertex's marginal decrease at once (Algorithm 2)."""
+        self.rebase(blocked)
+        self.stats.queries += 1
+        return self._delta_sum[: self.csr.n] / self.theta
+
+
+def _payload_mask(lengths: np.ndarray) -> np.ndarray:
+    """Mask selecting non-root entries of concatenated tree payloads
+    (each tree's root sits at its own offset 0)."""
+    total = int(lengths.sum())
+    mask = np.ones(total, dtype=bool)
+    roots = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=roots[1:])
+    mask[roots] = False
+    return mask
+
+
 class SketchIndex:
     """Persistent dominator-tree sketches behind ``SpreadEvaluator``.
 
@@ -243,13 +603,16 @@ class SketchIndex:
         Share an existing :class:`SamplePool` (e.g. with a pooled
         Monte-Carlo evaluator) instead of creating one.
     workers:
-        Fan tree construction (cold view builds, large rebases) out
-        across this many worker processes via a shared
-        :class:`~repro.engine.treebuild.TreeBuilder` (the pool is
-        created lazily on the first large build and reaped by
-        :meth:`close`).  ``None`` (the default) builds serially; any
-        value yields bit-identical results, so the knob is pure
-        throughput.
+        Fan the pure-Python tree construction out across this many
+        worker processes (only relevant when the compiled batched
+        kernel is unavailable; any value yields bit-identical
+        results, so the knob is pure throughput).
+    layout:
+        ``"arena"`` (default) stores each view's trees in a pooled
+        arena with an inverted membership index — the fast query
+        path; ``"legacy"`` keeps the historical per-sample layout,
+        preserved as the bit-identical semantic reference (see the
+        module docstring).
     cache_dir / cache_key:
         Sample-pool persistence knobs, forwarded verbatim.
 
@@ -267,9 +630,15 @@ class SketchIndex:
         rng: RngLike = None,
         pool: SamplePool | None = None,
         workers: int | None = None,
+        layout: str = "arena",
         cache_dir=None,
         cache_key: str | None = None,
     ) -> None:
+        if layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown sketch layout {layout!r}: expected one of "
+                + ", ".join(LAYOUTS)
+            )
         if pool is not None:
             self.pool = pool
         else:
@@ -278,14 +647,15 @@ class SketchIndex:
             )
         self.csr = self.pool.csr
         self.workers = workers
+        self.layout = layout
         self.builder = TreeBuilder(self.csr, workers=workers)
         self.stats = SketchStats()
-        self._views: dict[tuple[tuple[int, ...], int], _SketchView] = {}
+        self._views: dict[tuple[tuple[int, ...], int], object] = {}
 
     # ------------------------------------------------------------------
     # view management
     # ------------------------------------------------------------------
-    def _view(self, seeds: Sequence[int], theta: int) -> _SketchView:
+    def _view(self, seeds: Sequence[int], theta: int):
         if theta <= 0:
             raise ValueError("theta must be positive")
         seed_tuple = tuple(dict.fromkeys(int(s) for s in seeds))
@@ -300,7 +670,12 @@ class SketchIndex:
         # lookup and the refresh (the serving layer's eviction path)
         view = self._views.pop(key, None)
         if view is None:
-            view = _SketchView(
+            view_cls = (
+                _ArenaSketchView
+                if self.layout == "arena"
+                else _LegacySketchView
+            )
+            view = view_cls(
                 self.csr,
                 self.pool.get(theta),
                 seed_tuple,
@@ -314,7 +689,8 @@ class SketchIndex:
 
     @property
     def nbytes(self) -> int:
-        """Resident bytes of the cached per-sample tree arrays."""
+        """Resident bytes of the cached per-sample tree state (arena
+        plus postings for arena views, per-tree arrays for legacy)."""
         return self.stats.tree_bytes
 
     def close(self) -> None:
@@ -336,6 +712,12 @@ class SketchIndex:
         self, seeds: Sequence[int], blocked: Iterable[int]
     ) -> frozenset[int]:
         blocked_set = frozenset(int(v) for v in blocked)
+        n = self.csr.n
+        for v in blocked_set:
+            if not 0 <= v < n:
+                raise ValueError(
+                    f"blocked vertex {v} out of range [0, {n})"
+                )
         for s in seeds:
             if int(s) in blocked_set:
                 raise ValueError(f"seed {s} cannot be blocked")
@@ -367,10 +749,18 @@ class SketchIndex:
         Exact per sampled world (Theorem 6): equals
         ``expected_spread(seeds, rounds, blocked) -
         expected_spread(seeds, rounds, blocked + [v])`` on the same
-        samples, at the cost of an array lookup.
+        samples, at the cost of an array lookup.  ``v`` must be a real
+        vertex: out-of-range ids raise ``ValueError`` (they would
+        otherwise silently read the virtual root's slot or fall off
+        the gain array).
         """
+        v = int(v)
+        if not 0 <= v < self.csr.n:
+            raise ValueError(
+                f"vertex {v} out of range [0, {self.csr.n})"
+            )
         blocked_set = self._blocked_set(seeds, blocked)
-        return self._view(seeds, rounds).gain(int(v), blocked_set)
+        return self._view(seeds, rounds).gain(v, blocked_set)
 
     def decrease_estimates(
         self,

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..dominator import dominator_order_sizes_csr
 from ..graph import CSRGraph
+from ..native import native_build_trees
 from .kernels import sample_csr
 from .parallel import make_worker_pool, worker_csr
 from .pool import SampleBatch
@@ -145,6 +146,9 @@ class TreeBuilder:
         self.workers = workers
         self._pool = None
         self._pool_size = 0
+        # True when the last build_packed() call ran the native kernel
+        # (observability for tests and benchmark reports)
+        self._packed_native = False
 
     def build(
         self,
@@ -190,6 +194,54 @@ class TreeBuilder:
                     )
                 )
         return trees
+
+    def build_packed(
+        self,
+        batch: SampleBatch,
+        sample_indices: Sequence[int],
+        seeds: Sequence[int],
+        blocked: Iterable[int] = (),
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Arena-packable ``(lengths, orders, sizes)`` payload batch.
+
+        The same trees :meth:`build` returns, concatenated back to
+        back: sample ``sample_indices[i]`` owns
+        ``orders[o[i]:o[i + 1]]`` where ``o`` is the exclusive prefix
+        sum of ``lengths``.  This is the shape the arena-backed sketch
+        view consumes — one flat write-back instead of ``len(batch)``
+        array appends — and the shape the native batched kernel
+        (:mod:`repro.native`) emits directly: when the compiled kernel
+        is available the whole batch is one C call; otherwise the
+        per-sample Python build runs and is concatenated.  Results are
+        bit-identical across all three paths (native, serial Python,
+        worker fan-out), pinned by the cross-check tests.
+        """
+        idx = np.asarray(list(sample_indices), dtype=np.int64)
+        blocked = list(blocked)
+        seed_arr = np.asarray(list(seeds), dtype=np.int64)
+        if idx.shape[0] == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        n = self.csr.n
+        if n > 0:
+            mask = np.zeros(n, dtype=np.uint8)
+            if blocked:
+                mask[np.asarray(blocked, dtype=np.int64)] = 1
+            native = native_build_trees(
+                n, self.csr.indptr, self.csr.indices,
+                batch.positions, batch.offsets, idx, seed_arr, mask,
+            )
+            if native is not None:
+                self._packed_native = True
+                return native
+        self._packed_native = False
+        trees = self.build(batch, idx, seeds, blocked)
+        lengths = np.asarray(
+            [order.shape[0] for order, _ in trees], dtype=np.int64
+        )
+        orders = np.concatenate([order for order, _ in trees])
+        sizes = np.concatenate([sizes for _, sizes in trees])
+        return lengths, orders, sizes
 
     # ------------------------------------------------------------------
     # lifecycle

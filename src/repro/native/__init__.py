@@ -1,0 +1,227 @@
+"""repro.native — optional compiled kernels, loaded via ``ctypes``.
+
+The sketch estimator's irreducible per-sample cost is the
+Lengauer–Tarjan walk, which no amount of numpy vectorisation removes
+(every step is data-dependent).  This package ships the batched
+tree-build kernel as plain C (``lt_kernel.c``), compiled **on demand**
+with whatever ``cc``/``gcc`` the host already has and loaded through
+the standard library's ``ctypes`` — no build-time dependency, no
+compiled artifact in the repository, and a clean fallback: when no
+compiler is available (or ``REPRO_NATIVE=0`` is set) every caller uses
+the pure-Python path and produces bit-identical results, just slower.
+
+Compiled objects are cached under a per-user temp directory keyed by a
+hash of the C source, so a source change triggers exactly one
+recompile and concurrent processes race benignly (atomic rename).
+
+The only consumer today is
+:meth:`repro.engine.treebuild.TreeBuilder.build_packed`; anything else
+wanting a native kernel should follow the same pattern: ship C next to
+this file, add a loader entry, keep the Python path as the semantic
+reference.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import stat
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "native_build_available",
+    "native_build_trees",
+    "native_cache_dir",
+]
+
+_SOURCE = Path(__file__).with_name("lt_kernel.c")
+
+# resolved lazily, exactly once per process: None = not yet attempted,
+# False = unavailable (no compiler / disabled / compile failed)
+_lib: "ctypes.CDLL | bool | None" = None
+
+
+def _disabled() -> bool:
+    return os.environ.get("REPRO_NATIVE", "1") in ("0", "false", "no")
+
+
+def native_cache_dir() -> Path:
+    """Directory holding compiled kernel objects (override with
+    ``REPRO_NATIVE_CACHE``)."""
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    if hasattr(os, "getuid"):
+        tag = f"repro-native-{os.getuid()}"
+    else:  # pragma: no cover - non-POSIX hosts
+        tag = "repro-native"
+    return Path(tempfile.gettempdir()) / tag
+
+
+def _compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def _cache_dir_trusted(cache: Path) -> bool:
+    """Refuse to trust (or load from) a cache dir another user could
+    have planted: the default lives under the world-writable temp
+    root, so a predictable path + digest would otherwise let a local
+    attacker pre-seed a malicious ``.so`` for us to ``dlopen``."""
+    try:
+        st = os.lstat(cache)
+    except OSError:
+        return False
+    if not stat.S_ISDIR(st.st_mode):
+        return False
+    if hasattr(os, "getuid"):
+        if st.st_uid != os.getuid():
+            return False
+        if st.st_mode & 0o022:  # group/other writable
+            return False
+    return True
+
+
+def _compile() -> Path | None:
+    """Compile (or reuse) the kernel shared object; None on failure."""
+    if not _SOURCE.is_file():
+        return None
+    source = _SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    cache = native_cache_dir()
+    try:
+        cache.mkdir(parents=True, exist_ok=True, mode=0o700)
+    except OSError:
+        return None
+    if not _cache_dir_trusted(cache):
+        return None
+    so_path = cache / f"lt_kernel-{digest}-py{sys.version_info[0]}.so"
+    if so_path.is_file():
+        return so_path
+    compiler = _compiler()
+    if compiler is None:
+        return None
+    try:
+        tmp = so_path.with_name(f".{so_path.name}.{os.getpid()}.tmp")
+        subprocess.run(
+            [compiler, "-O3", "-shared", "-fPIC",
+             str(_SOURCE), "-o", str(tmp)],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        tmp.replace(so_path)  # atomic: concurrent compiles race benignly
+        return so_path
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+_I64P = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_U8P = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+
+
+def _load() -> "ctypes.CDLL | bool":
+    global _lib
+    if _lib is None:
+        _lib = False
+        if not _disabled():
+            so_path = _compile()
+            if so_path is not None:
+                try:
+                    lib = ctypes.CDLL(str(so_path))
+                    lib.repro_build_trees.restype = ctypes.c_int64
+                    lib.repro_build_trees.argtypes = [
+                        ctypes.c_int64,  # n
+                        _I64P,  # indptr
+                        _I64P,  # edge_dst
+                        _I64P,  # positions
+                        _I64P,  # offsets
+                        _I64P,  # sample_idx
+                        ctypes.c_int64,  # batch
+                        _I64P,  # seeds
+                        ctypes.c_int64,  # num_seeds
+                        _U8P,  # blocked
+                        _I64P,  # out_order
+                        _I64P,  # out_sizes
+                        _I64P,  # out_lengths
+                    ]
+                    _lib = lib
+                except OSError:
+                    _lib = False
+    return _lib
+
+
+def native_build_available() -> bool:
+    """True when the compiled tree-build kernel is loadable here."""
+    return _load() is not False
+
+
+def native_build_trees(
+    n: int,
+    indptr: np.ndarray,
+    edge_dst: np.ndarray,
+    positions: np.ndarray,
+    offsets: np.ndarray,
+    sample_idx: np.ndarray,
+    seeds: np.ndarray,
+    blocked_mask: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Batched ``(lengths, orders, sizes)`` dominator payloads, or
+    ``None`` when the kernel is unavailable (callers fall back to the
+    Python path — results are bit-identical either way).
+
+    ``offsets``/``positions`` are the pool's flat sample arrays (no
+    packing or copying: the kernel indexes the requested
+    ``sample_idx`` windows directly); ``indptr`` is the base graph's
+    CSR row-pointer array and ``blocked_mask`` a ``uint8[n]`` mask.
+    Output arrays are trimmed to the written payload.
+    """
+    lib = _load()
+    if lib is False:
+        return None
+    offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    sample_idx = np.ascontiguousarray(sample_idx, dtype=np.int64)
+    batch = sample_idx.shape[0]
+    lengths = np.empty(max(batch, 1), dtype=np.int64)
+    # every non-root reachable vertex is a seed or has a surviving
+    # in-edge, so the payload is bounded by edges + roots + seeds
+    window = int((offsets[sample_idx + 1] - offsets[sample_idx]).sum())
+    cap = window + batch * (1 + int(seeds.shape[0])) + 1
+    out_order = np.empty(cap, dtype=np.int64)
+    out_sizes = np.empty(cap, dtype=np.int64)
+    total = lib.repro_build_trees(
+        n,
+        np.ascontiguousarray(indptr, dtype=np.int64),
+        np.ascontiguousarray(edge_dst, dtype=np.int64),
+        np.ascontiguousarray(positions, dtype=np.int64),
+        offsets,
+        sample_idx,
+        batch,
+        np.ascontiguousarray(seeds, dtype=np.int64),
+        int(seeds.shape[0]),
+        np.ascontiguousarray(blocked_mask, dtype=np.uint8),
+        out_order,
+        out_sizes,
+        lengths,
+    )
+    if total < 0:  # pragma: no cover - scratch malloc failure
+        raise MemoryError("native tree-build kernel out of memory")
+    # copy, don't slice: a slice would pin the whole cap-sized output
+    # buffer (sized by surviving *edges*, typically ~10x the payload)
+    # for as long as a consumer — e.g. an arena view — holds it, and
+    # byte gauges built on .nbytes would wildly under-count residency
+    return (
+        lengths[:batch].copy(),
+        out_order[:total].copy(),
+        out_sizes[:total].copy(),
+    )

@@ -220,14 +220,16 @@ class Artifact:
     @property
     def nbytes(self) -> int:
         """Resident size estimate: both pools' sample arrays plus the
-        sketch index's cached per-sample tree arrays (a live gauge —
-        it grows as block queries warm views and shrinks as the index
-        drops them), so the cache's LRU byte bound tracks what the
-        artifact actually holds in memory."""
+        sketch index's resident tree state — for the arena layout the
+        pooled tree arenas (at capacity, slack included) and the
+        inverted membership indexes, per-tree arrays for the legacy
+        layout.  A live gauge: it grows as block queries warm views
+        and shrinks as the index drops them, so the cache's LRU byte
+        bound tracks what the artifact actually holds in memory."""
         return (
             self.pool.nbytes
             + self.judge.pool.nbytes
-            + self.sketch.stats.tree_bytes
+            + self.sketch.nbytes
         )
 
     def describe(self) -> dict[str, object]:
@@ -360,6 +362,14 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def peek(self, key: ArtifactKey) -> Artifact | None:
+        """The resident artifact for ``key``, or ``None`` — never
+        builds and never counts as a hit/miss.  The service's
+        per-artifact ``stats`` op uses this so an observability query
+        cannot trigger (or wait on) an expensive artifact build."""
+        with self._lock:
+            return self._artifacts.get(key)
+
     def keys(self) -> list[ArtifactKey]:
         with self._lock:
             return list(self._artifacts)

@@ -27,6 +27,9 @@ Requests (all fields beyond ``op`` optional, with server defaults)::
     {"op": "ping"}
     {"op": "graphs"}
     {"op": "stats"}
+    {"op": "stats",  "graph": "toy"}   # one WARM artifact's stats
+                                       # (pool + sketch gauges); never
+                                       # builds — errors if not warm
     {"op": "warm",   "graph": "toy", "model": "wc", "theta": 200,
      "seed": 7}
     {"op": "spread", "graph": "toy", "seeds": [0], "blocked": [4]}
@@ -375,6 +378,30 @@ class BlockerService:
         return self.registry.describe()
 
     def _op_stats(self, request: dict) -> dict:
+        """Service-wide stats — or one warm artifact's stats when the
+        request names any artifact-key field.
+
+        The per-artifact form returns the artifact's description
+        (pool counters plus ``SketchStats.as_dict()``, including the
+        arena/postings byte gauges of the query path) **without ever
+        building**: observability must not trigger, or block behind,
+        the most expensive operation the service performs.  A key that
+        is not resident is a request error naming the fix (warm it).
+        ``"artifact": true`` selects the per-artifact form with the
+        server's default key fields (what ``repro-imin query --stats``
+        sends when no key fields were given).
+        """
+        if request.get("artifact") or any(
+            f in request for f in ("graph", "model", "theta", "seed")
+        ):
+            key = self._artifact_key(request)
+            artifact = self.cache.peek(key)
+            if artifact is None:
+                raise RequestError(
+                    f"artifact {key.as_dict()} is not warm; warm it "
+                    "first (op=warm) or query it (op=spread/block)"
+                )
+            return artifact.describe()
         return {
             "service": self.stats.as_dict(),
             "cache": self.cache.describe(),

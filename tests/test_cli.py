@@ -158,6 +158,33 @@ class TestEngineFlag:
         assert "blockers=" in out
         assert "expected spread" in out
 
+    def test_sketch_layouts_agree_end_to_end(self, capsys):
+        outputs = []
+        for layout in ("arena", "legacy"):
+            code = main(
+                [
+                    "block",
+                    "--dataset", "email-core",
+                    "--scale", "0.08",
+                    "--budget", "2",
+                    "--theta", "30",
+                    "--seeds", "2",
+                    "--algorithm", "gr",
+                    "--rng", "1",
+                    "--engine", "sketch",
+                    "--sketch-layout", layout,
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            outputs.append(
+                [line for line in out.splitlines()
+                 if line.startswith(("blockers=", "expected spread"))]
+            )
+        # the two layouts are the same estimator: identical blockers
+        # and identical spread estimates, not just approximately
+        assert outputs[0] == outputs[1]
+
     def test_spread_with_engine(self, capsys):
         code = main(
             [
@@ -246,6 +273,27 @@ class TestServeQueryVerbs:
             assert code == 0
             response = json.loads(capsys.readouterr().out)
             assert response["result"]["spread"] == pytest.approx(3.0)
+
+            # --stats attaches the warm artifact's description — the
+            # block query above warmed the sketch index, so the arena
+            # and postings gauges must be live
+            code = main(["query", "spread", "--port", port,
+                         "--graph", "toy", "--theta", "100",
+                         "--seeds", "0", "--stats"])
+            assert code == 0
+            response = json.loads(capsys.readouterr().out)
+            assert response["ok"] is True
+            sketch_stats = response["artifact_stats"]["sketch"]
+            assert sketch_stats["trees_built"] > 0
+            assert sketch_stats["arena_bytes"] > 0
+            assert sketch_stats["postings_bytes"] > 0
+
+            # the direct per-artifact form of the stats op
+            code = main(["query", "stats", "--port", port,
+                         "--graph", "toy", "--theta", "100"])
+            assert code == 0
+            response = json.loads(capsys.readouterr().out)
+            assert response["result"]["sketch"] == sketch_stats
 
             code = main(["query", "shutdown", "--port", port])
             assert code == 0

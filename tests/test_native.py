@@ -1,0 +1,79 @@
+"""Native-kernel loader (repro.native): gating, caching, fallback."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import native
+from repro.native import native_build_available, native_cache_dir
+
+
+def test_cache_dir_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "kern"))
+    assert native_cache_dir() == tmp_path / "kern"
+
+
+def test_cache_dir_default_is_per_user():
+    assert "repro-native" in native_cache_dir().name
+
+
+def test_disabled_env_gate(monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    assert native._disabled()
+    monkeypatch.setenv("REPRO_NATIVE", "1")
+    assert not native._disabled()
+
+
+def test_disabled_process_falls_back():
+    # a fresh interpreter with REPRO_NATIVE=0 must report the kernel
+    # unavailable and still build trees through the Python path
+    code = (
+        "from repro.native import native_build_available, "
+        "native_build_trees\n"
+        "import numpy as np\n"
+        "assert not native_build_available()\n"
+        "assert native_build_trees(0, *([np.zeros(0, dtype=np.int64)] "
+        "* 6), np.zeros(0, dtype=np.uint8)) is None\n"
+        "print('fallback-ok')\n"
+    )
+    env = dict(os.environ, REPRO_NATIVE="0")
+    src = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "fallback-ok" in result.stdout
+
+
+def test_compiled_object_is_cached():
+    if not native_build_available():
+        pytest.skip("no compiler on this host")
+    cached = list(native_cache_dir().glob("lt_kernel-*.so"))
+    assert cached, "expected a cached shared object after loading"
+
+
+def test_kernel_empty_batch():
+    if not native_build_available():
+        pytest.skip("no compiler on this host")
+    empty = np.zeros(0, dtype=np.int64)
+    lengths, orders, sizes = native.native_build_trees(
+        3,
+        np.zeros(4, dtype=np.int64),
+        empty,
+        empty,
+        np.zeros(1, dtype=np.int64),
+        empty,
+        empty,
+        np.zeros(3, dtype=np.uint8),
+    )
+    assert lengths.shape[0] == 0
+    assert orders.shape[0] == 0 and sizes.shape[0] == 0

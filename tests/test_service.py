@@ -373,6 +373,49 @@ class TestBlockerService:
         assert "cache" in result
         service.close()
 
+    def test_stats_for_warm_artifact(self, registry):
+        # the per-artifact stats verb: key fields select one warm
+        # artifact and return its description, including the sketch
+        # index's arena/postings byte gauges
+        service = BlockerService(registry=registry)
+        service.handle(
+            {"op": "block", "graph": "toy", "theta": 100, "seed": 7,
+             "seeds": [0], "budget": 2}
+        )
+        response = service.handle(
+            {"op": "stats", "graph": "toy", "theta": 100, "seed": 7}
+        )
+        assert response["ok"]
+        result = response["result"]
+        assert result["graph"] == "toy" and result["theta"] == 100
+        sketch = result["sketch"]
+        assert sketch["trees_built"] > 0
+        assert sketch["arena_bytes"] > 0
+        assert sketch["postings_bytes"] > 0
+        assert sketch["tree_bytes"] == (
+            sketch["arena_bytes"] + sketch["postings_bytes"]
+        )
+        # "artifact": true selects the per-artifact form with default
+        # key fields (the CLI's `query ... --stats` shape)
+        flagged = service.handle(
+            {"op": "stats", "artifact": True, "theta": 100}
+        )
+        assert flagged["ok"]
+        assert flagged["result"]["sketch"] == sketch
+        service.close()
+
+    def test_stats_for_cold_artifact_is_an_error(self, registry):
+        # observability must never trigger a build: asking for a key
+        # that is not resident errors instead of warming it
+        service = BlockerService(registry=registry)
+        response = service.handle(
+            {"op": "stats", "graph": "toy", "theta": 123}
+        )
+        assert not response["ok"]
+        assert "not warm" in response["error"]
+        assert len(service.cache) == 0
+        service.close()
+
 
 # ----------------------------------------------------------------------
 # TCP round trip
@@ -633,5 +676,5 @@ def test_artifact_exposes_engine_stats(cache):
     assert description["pool"]["generated"] >= 100
     assert set(description["sketch"]) == {
         "queries", "rebases", "trees_built", "samples_skipped",
-        "tree_bytes",
+        "tree_bytes", "arena_bytes", "postings_bytes",
     }

@@ -270,7 +270,7 @@ class TestArrayNativeBuild:
             auto_build_workers(0, 100, 100_000)
 
     def test_tree_bytes_gauge(self, toy):
-        sketch = SketchIndex(toy, rng=13)
+        sketch = SketchIndex(toy, rng=13, layout="legacy")
         assert sketch.stats.tree_bytes == 0
         sketch.expected_spread([figure1_seed], 80)
         view = next(iter(sketch._views.values()))
@@ -281,6 +281,9 @@ class TestArrayNativeBuild:
         assert expected > 0
         assert sketch.stats.tree_bytes == expected
         assert sketch.nbytes == expected
+        # legacy views have no arena/postings state
+        assert sketch.stats.arena_bytes == 0
+        assert sketch.stats.postings_bytes == 0
         # a rebase replaces arrays; the gauge must track the live set
         sketch.expected_spread([figure1_seed], 80, [V(5)])
         live = sum(
@@ -290,6 +293,28 @@ class TestArrayNativeBuild:
         assert sketch.stats.tree_bytes == live
         sketch.close()
         assert sketch.stats.tree_bytes == 0
+
+    def test_arena_bytes_gauge(self, toy):
+        sketch = SketchIndex(toy, rng=13, layout="arena")
+        sketch.expected_spread([figure1_seed], 80)
+        view = next(iter(sketch._views.values()))
+        arena = view._arena_nbytes()
+        postings = view._postings_nbytes()
+        assert arena > 0 and postings > 0
+        assert sketch.stats.arena_bytes == arena
+        assert sketch.stats.postings_bytes == postings
+        assert sketch.stats.tree_bytes == arena + postings
+        assert sketch.nbytes == arena + postings
+        # rebases re-sync the gauges to the live arrays
+        sketch.expected_spread([figure1_seed], 80, [V(5)])
+        assert sketch.stats.arena_bytes == view._arena_nbytes()
+        assert sketch.stats.tree_bytes == (
+            view._arena_nbytes() + view._postings_nbytes()
+        )
+        sketch.close()
+        assert sketch.stats.tree_bytes == 0
+        assert sketch.stats.arena_bytes == 0
+        assert sketch.stats.postings_bytes == 0
 
 
 class TestDeterminism:
