@@ -44,6 +44,7 @@ from pathlib import Path
 import numpy as np
 
 import repro
+from repro.obs import iter_spans
 from repro.service import (
     ArtifactCache,
     ArtifactKey,
@@ -197,6 +198,24 @@ def run_warm(
             for k, v in service.stats.as_dict().items()
             if k in ("batches", "batched_queries", "max_batch")
         }
+        # one traced probe query through the real protocol: where a
+        # warm request's time goes, phase by phase (queue wait,
+        # artifact resolution, engine evaluation, sketch spans)
+        with ServiceClient(host, port) as probe:
+            traced = probe.request(
+                "spread", seeds=seeds, blocked=[], trace=True,
+                **key.as_dict(),
+            )
+        phases: dict[str, dict[str, float]] = {}
+        for node in iter_spans(traced.get("trace", {})):
+            entry = phases.setdefault(
+                node["name"], {"count": 0, "total_ms": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_ms"] = round(
+                entry["total_ms"] + node["duration_ms"], 3
+            )
+        stats["phases"] = phases
         return stats
     finally:
         server.shutdown()

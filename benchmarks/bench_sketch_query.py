@@ -53,6 +53,7 @@ from repro.engine.pool import SamplePool
 from repro.graph import barabasi_albert, CSRGraph
 from repro.models import assign_weighted_cascade
 from repro.native import native_build_available
+from repro.obs import new_trace, use_trace
 
 try:  # pytest package context vs standalone script
     from .conftest import emit
@@ -102,16 +103,22 @@ def run_query_benchmark(
 
     measurements: dict[str, dict[str, float]] = {}
     results: dict[str, object] = {}
+    phases: dict[str, dict] = {}
     for layout in ("legacy", "arena"):
         best = {"cold": float("inf"), "select": float("inf"),
                 "rebase": float("inf")}
         for _ in range(max(1, repeats)):
-            t_cold, t_select, t_rebase, result = once(layout)
+            # per-phase span breakdown (sketch.build / rebase / gains /
+            # treebuild ...) of one full repeat, attached to the report
+            trace = new_trace()
+            with use_trace(trace):
+                t_cold, t_select, t_rebase, result = once(layout)
             best["cold"] = min(best["cold"], t_cold)
             best["select"] = min(best["select"], t_select)
             best["rebase"] = min(best["rebase"], t_rebase)
             results[layout] = result
         measurements[layout] = best
+        phases[layout] = trace.summary()
 
     legacy, arena = results["legacy"], results["arena"]
     identical = (
@@ -140,6 +147,7 @@ def run_query_benchmark(
         ),
         "identical": identical,
         "native": native_build_available(),
+        "phases": phases,
     }
 
 
@@ -197,6 +205,9 @@ def to_json(result: dict[str, object], params: dict) -> dict:
         "cold_speedup_vs_legacy": round(float(result["cold_speedup"]), 3),
         "identical": bool(result["identical"]),
         "native": bool(result["native"]),
+        # per-layout {span: {count, total_ms}} from the last repeat —
+        # extra keys are ignored by check_bench_regression.py
+        "phases": result["phases"],
     }
 
 

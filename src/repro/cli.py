@@ -158,6 +158,31 @@ def build_parser() -> argparse.ArgumentParser:
             "repeatable"
         ),
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help=(
+            "also serve Prometheus metrics over HTTP on this port "
+            "(GET /metrics; 0 binds an ephemeral port). The JSON "
+            "protocol's `metrics` op exposes the same registry"
+        ),
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help=(
+            "emit structured request logs: one JSON object per event "
+            "on stderr (trace_id, op, graph, duration_ms)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=1000.0,
+        help=(
+            "slow-query threshold in milliseconds; slower requests are "
+            "logged with their per-phase breakdown and kept in the "
+            "slow-query ring visible under `query stats` "
+            "(default: 1000)"
+        ),
+    )
 
     query = sub.add_parser(
         "query",
@@ -166,8 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "op",
         choices=(
-            "ping", "graphs", "stats", "warm", "spread", "block",
-            "shutdown",
+            "ping", "graphs", "stats", "metrics", "warm", "spread",
+            "block", "shutdown",
         ),
     )
     query.add_argument("--host", default="127.0.0.1")
@@ -206,6 +231,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--rng", type=int, default=None,
         help="algorithm RNG seed (block op; default: artifact seed)",
+    )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "ask the server for this request's span breakdown (queue "
+            "wait, artifact resolution, engine phases) and print it "
+            "after the JSON reply"
+        ),
+    )
+    query.add_argument(
+        "--trace-id", default=None,
+        help=(
+            "client-chosen trace id to stamp on the request (default: "
+            "server-assigned; always echoed in the reply)"
+        ),
     )
     query.add_argument(
         "--stats",
@@ -464,6 +505,7 @@ def _cmd_spread(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .obs import EventLog, start_metrics_server
     from .service import (
         ArtifactCache,
         BlockerService,
@@ -492,22 +534,46 @@ def _cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         build_workers=args.build_workers,
     )
-    service = BlockerService(registry=registry, cache=cache)
+    log = EventLog(json_mode=args.log_json)
+    service = BlockerService(
+        registry=registry,
+        cache=cache,
+        log=log,
+        slow_ms=args.slow_ms,
+    )
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = start_metrics_server(
+            host=args.host,
+            port=args.metrics_port,
+            registry=service.metrics,
+        )
+        log.event(
+            "metrics_listening",
+            host=args.host,
+            port=metrics_server.port,
+        )
     port = DEFAULT_PORT if args.port is None else args.port
     server = serve(host=args.host, port=port, service=service)
     host, port = server.server_address[:2]
     print(f"repro.service listening on {host}:{port}", flush=True)
+    log.event("listening", host=host, port=port)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     finally:
         server.server_close()
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
+    log.event("stopped")
     print("repro.service stopped")
     return 0
 
 
 def _cmd_query(args) -> int:
+    from .obs import format_trace
     from .service import DEFAULT_PORT, ServiceClient, ServiceError
 
     port = DEFAULT_PORT if args.port is None else args.port
@@ -523,6 +589,8 @@ def _cmd_query(args) -> int:
         "budget": args.budget,
         "algorithm": args.algorithm,
         "rng": args.rng,
+        "trace_id": args.trace_id,
+        "trace": True if args.trace else None,
     }
     try:
         with client:
@@ -545,7 +613,14 @@ def _cmd_query(args) -> int:
             )
         )
         return 1
+    if args.op == "metrics" and response.get("ok"):
+        # exposition text, not JSON — print it raw for scrape parity
+        print(response.get("result", ""), end="")
+        return 0
+    trace_dict = response.pop("trace", None)
     print(json.dumps(response, indent=2, sort_keys=True))
+    if trace_dict is not None:
+        print(format_trace(trace_dict))
     return 0 if response.get("ok") else 1
 
 

@@ -29,6 +29,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence, TYPE_CHECKING
 
+from ..obs import global_registry, span
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from ..engine import SpreadEvaluator
 
@@ -190,42 +192,47 @@ def celf_select(
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
-    base = list(picked) if picked is not None else []
-    taken = set(base)
-    pool = [v for v in dict.fromkeys(candidates) if v not in taken]
+    with span("celf.select"):
+        base = list(picked) if picked is not None else []
+        taken = set(base)
+        pool = [v for v in dict.fromkeys(candidates) if v not in taken]
 
-    picks: list[int] = []
-    gains: list[float] = []
-    evaluations = 0
-    # heap of (-gain, vertex, round-the-gain-was-computed-in); an entry
-    # whose round stamp is current is fresh (no candidate's gain can
-    # have changed since) and wins the round outright
-    bulk = getattr(gain_fn, "bulk", None)
-    if bulk is not None and pool:
-        # whole-candidate sweep: one evaluator query (one rebase)
-        # seeds the entire heap — same values the per-vertex loop
-        # would read, so picks and tie-breaks are unchanged
-        sweep = bulk(base)
-        evaluations += len(pool)
-        heap = [(-float(sweep[v]), v, 0) for v in pool]
-    else:
-        heap = []
-        for v in pool:
-            g = gain_fn(v, base)
-            evaluations += 1
-            heap.append((-g, v, 0))
-    heapq.heapify(heap)
+        picks: list[int] = []
+        gains: list[float] = []
+        evaluations = 0
+        # heap of (-gain, vertex, round-the-gain-was-computed-in); an
+        # entry whose round stamp is current is fresh (no candidate's
+        # gain can have changed since) and wins the round outright
+        bulk = getattr(gain_fn, "bulk", None)
+        if bulk is not None and pool:
+            # whole-candidate sweep: one evaluator query (one rebase)
+            # seeds the entire heap — same values the per-vertex loop
+            # would read, so picks and tie-breaks are unchanged
+            sweep = bulk(base)
+            evaluations += len(pool)
+            heap = [(-float(sweep[v]), v, 0) for v in pool]
+        else:
+            heap = []
+            for v in pool:
+                g = gain_fn(v, base)
+                evaluations += 1
+                heap.append((-g, v, 0))
+        heapq.heapify(heap)
 
-    while heap and len(picks) < budget:
-        neg_gain, v, stamp = heapq.heappop(heap)
-        if stamp != len(picks):
-            g = gain_fn(v, base + picks)
-            evaluations += 1
-            heapq.heappush(heap, (-g, v, len(picks)))
-            continue
-        if -neg_gain <= 0.0 and stop_when_exhausted:
-            break
-        picks.append(v)
-        gains.append(-neg_gain)
+        while heap and len(picks) < budget:
+            neg_gain, v, stamp = heapq.heappop(heap)
+            if stamp != len(picks):
+                g = gain_fn(v, base + picks)
+                evaluations += 1
+                heapq.heappush(heap, (-g, v, len(picks)))
+                continue
+            if -neg_gain <= 0.0 and stop_when_exhausted:
+                break
+            picks.append(v)
+            gains.append(-neg_gain)
 
+    global_registry().counter(
+        "repro_celf_evaluations_total",
+        "Gain-oracle calls made by CELF lazy selection",
+    ).inc(evaluations)
     return LazySelection(picks=picks, gains=gains, evaluations=evaluations)

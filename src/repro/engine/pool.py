@@ -33,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from ..graph import CSRGraph, DiGraph
+from ..obs import span, track
 from ..rng import ensure_rng, RngLike
 
 __all__ = ["SampleBatch", "SamplePool", "PoolStats"]
@@ -55,6 +56,12 @@ class PoolStats:
     """Times a persisted pool was attached from ``cache_dir``."""
     disk_saves: int = 0
     """Times the pool was persisted to ``cache_dir``."""
+
+    def __post_init__(self) -> None:
+        # re-register into the shared metrics registry: the attribute
+        # API above is unchanged; repro.obs sums these counters across
+        # live instances at collection time (repro_pool_*_total)
+        track("pool", self)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -204,7 +211,8 @@ class SamplePool:
             self.stats.hits += 1
         else:
             self.stats.misses += 1
-            self._grow(theta - self._theta)
+            with span("pool.generate"):
+                self._grow(theta - self._theta)
             self._persist()
         return SampleBatch(
             theta=theta,

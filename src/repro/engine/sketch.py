@@ -80,6 +80,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..graph import CSRGraph, DiGraph
+from ..obs import span, track
 from ..rng import RngLike
 from .kernels import postings_csr, ragged_arange
 from .pool import SampleBatch, SamplePool
@@ -124,6 +125,13 @@ class SketchStats:
     """Resident bytes of the inverted membership indexes (postings
     CSR, aliveness bits, search keys, by-sample posting table).  Zero
     for legacy-layout views."""
+
+    def __post_init__(self) -> None:
+        # re-register into the shared metrics registry: attributes stay
+        # the API (the service's byte accounting reads them directly);
+        # repro.obs sums them across live instances at collection time
+        # (repro_sketch_* gauges/counters)
+        track("sketch", self)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -239,27 +247,28 @@ class _LegacySketchView:
     def rebase(self, blocked: frozenset[int]) -> None:
         if blocked == self.blocked:
             return
-        added = blocked - self.blocked
-        removed = self.blocked - blocked
-        touched = [
-            t
-            for t in range(self.theta)
-            if any(v in self._reachable[t] for v in added)
-            or any(v in self._base_reachable[t] for v in removed)
-        ]
-        for t, (order, sizes) in zip(
-            touched, self._build(touched, blocked)
-        ):
-            self._apply(self._orders[t], self._sizes[t], -1)
-            self._orders[t] = order
-            self._sizes[t] = sizes
-            self._reachable[t] = frozenset(order.tolist())
-            self._apply(order, sizes, +1)
-        self.blocked = blocked
-        if touched:
-            self.stats.rebases += 1
-            self._sync_bytes()
-        self.stats.samples_skipped += self.theta - len(touched)
+        with span("sketch.rebase"):
+            added = blocked - self.blocked
+            removed = self.blocked - blocked
+            touched = [
+                t
+                for t in range(self.theta)
+                if any(v in self._reachable[t] for v in added)
+                or any(v in self._base_reachable[t] for v in removed)
+            ]
+            for t, (order, sizes) in zip(
+                touched, self._build(touched, blocked)
+            ):
+                self._apply(self._orders[t], self._sizes[t], -1)
+                self._orders[t] = order
+                self._sizes[t] = sizes
+                self._reachable[t] = frozenset(order.tolist())
+                self._apply(order, sizes, +1)
+            self.blocked = blocked
+            if touched:
+                self.stats.rebases += 1
+                self._sync_bytes()
+            self.stats.samples_skipped += self.theta - len(touched)
 
     # ------------------------------------------------------------------
     # queries
@@ -278,9 +287,10 @@ class _LegacySketchView:
 
     def gains(self, blocked: frozenset[int]) -> np.ndarray:
         """Every vertex's marginal decrease at once (Algorithm 2)."""
-        self.rebase(blocked)
-        self.stats.queries += 1
-        return self._delta_sum[: self.csr.n] / self.theta
+        with span("sketch.gains"):
+            self.rebase(blocked)
+            self.stats.queries += 1
+            return self._delta_sum[: self.csr.n] / self.theta
 
 
 class _ArenaSketchView:
@@ -457,21 +467,25 @@ class _ArenaSketchView:
     def rebase(self, blocked: frozenset[int]) -> None:
         if blocked == self.blocked:
             return
-        touched = self._touched(
-            blocked - self.blocked, self.blocked - blocked
-        )
-        if touched.shape[0]:
-            # build first: a builder failure raises here, before any
-            # state (deltas, postings, arena, byte gauges) is touched
-            lengths, orders, sizes = self.builder.build_packed(
-                self.batch, touched, self.seeds, sorted(blocked)
+        with span("sketch.rebase"):
+            touched = self._touched(
+                blocked - self.blocked, self.blocked - blocked
             )
-            self.stats.trees_built += int(touched.shape[0])
-            self._writeback(touched, lengths, orders, sizes)
-            self.stats.rebases += 1
-            self._sync_bytes()
-        self.blocked = blocked
-        self.stats.samples_skipped += self.theta - int(touched.shape[0])
+            if touched.shape[0]:
+                # build first: a builder failure raises here, before
+                # any state (deltas, postings, arena, byte gauges) is
+                # touched
+                lengths, orders, sizes = self.builder.build_packed(
+                    self.batch, touched, self.seeds, sorted(blocked)
+                )
+                self.stats.trees_built += int(touched.shape[0])
+                self._writeback(touched, lengths, orders, sizes)
+                self.stats.rebases += 1
+                self._sync_bytes()
+            self.blocked = blocked
+            self.stats.samples_skipped += self.theta - int(
+                touched.shape[0]
+            )
 
     def _writeback(
         self,
@@ -573,9 +587,10 @@ class _ArenaSketchView:
 
     def gains(self, blocked: frozenset[int]) -> np.ndarray:
         """Every vertex's marginal decrease at once (Algorithm 2)."""
-        self.rebase(blocked)
-        self.stats.queries += 1
-        return self._delta_sum[: self.csr.n] / self.theta
+        with span("sketch.gains"):
+            self.rebase(blocked)
+            self.stats.queries += 1
+            return self._delta_sum[: self.csr.n] / self.theta
 
 
 def _payload_mask(lengths: np.ndarray) -> np.ndarray:
@@ -675,13 +690,14 @@ class SketchIndex:
                 if self.layout == "arena"
                 else _LegacySketchView
             )
-            view = view_cls(
-                self.csr,
-                self.pool.get(theta),
-                seed_tuple,
-                self.stats,
-                self.builder,
-            )
+            with span("sketch.build"):
+                view = view_cls(
+                    self.csr,
+                    self.pool.get(theta),
+                    seed_tuple,
+                    self.stats,
+                    self.builder,
+                )
         self._views[key] = view
         while len(self._views) > _MAX_VIEWS:
             self._views.pop(next(iter(self._views))).drop()

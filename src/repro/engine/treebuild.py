@@ -39,6 +39,7 @@ import numpy as np
 from ..dominator import dominator_order_sizes_csr
 from ..graph import CSRGraph
 from ..native import native_build_trees
+from ..obs import span
 from .kernels import sample_csr
 from .parallel import make_worker_pool, worker_csr
 from .pool import SampleBatch
@@ -222,26 +223,27 @@ class TreeBuilder:
         if idx.shape[0] == 0:
             empty = np.zeros(0, dtype=np.int64)
             return empty, empty.copy(), empty.copy()
-        n = self.csr.n
-        if n > 0:
-            mask = np.zeros(n, dtype=np.uint8)
-            if blocked:
-                mask[np.asarray(blocked, dtype=np.int64)] = 1
-            native = native_build_trees(
-                n, self.csr.indptr, self.csr.indices,
-                batch.positions, batch.offsets, idx, seed_arr, mask,
+        with span("sketch.treebuild"):
+            n = self.csr.n
+            if n > 0:
+                mask = np.zeros(n, dtype=np.uint8)
+                if blocked:
+                    mask[np.asarray(blocked, dtype=np.int64)] = 1
+                native = native_build_trees(
+                    n, self.csr.indptr, self.csr.indices,
+                    batch.positions, batch.offsets, idx, seed_arr, mask,
+                )
+                if native is not None:
+                    self._packed_native = True
+                    return native
+            self._packed_native = False
+            trees = self.build(batch, idx, seeds, blocked)
+            lengths = np.asarray(
+                [order.shape[0] for order, _ in trees], dtype=np.int64
             )
-            if native is not None:
-                self._packed_native = True
-                return native
-        self._packed_native = False
-        trees = self.build(batch, idx, seeds, blocked)
-        lengths = np.asarray(
-            [order.shape[0] for order, _ in trees], dtype=np.int64
-        )
-        orders = np.concatenate([order for order, _ in trees])
-        sizes = np.concatenate([sizes for _, sizes in trees])
-        return lengths, orders, sizes
+            orders = np.concatenate([order for order, _ in trees])
+            sizes = np.concatenate([sizes for _, sizes in trees])
+            return lengths, orders, sizes
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -35,11 +35,20 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import global_registry
+
 __all__ = [
     "native_build_available",
     "native_build_trees",
     "native_cache_dir",
 ]
+
+
+def _count(name: str, help_text: str) -> None:
+    """Bump a loader counter in the shared metrics registry — how the
+    ops surface answers "did this process compile the kernel, reuse a
+    cached object, or fall back to Python?" without log spelunking."""
+    global_registry().counter(name, help_text).inc()
 
 _SOURCE = Path(__file__).with_name("lt_kernel.c")
 
@@ -107,6 +116,10 @@ def _compile() -> Path | None:
         return None
     so_path = cache / f"lt_kernel-{digest}-py{sys.version_info[0]}.so"
     if so_path.is_file():
+        _count(
+            "repro_native_compile_cache_hits_total",
+            "Kernel loads served by an already-compiled shared object",
+        )
         return so_path
     compiler = _compiler()
     if compiler is None:
@@ -121,8 +134,16 @@ def _compile() -> Path | None:
             timeout=120,
         )
         tmp.replace(so_path)  # atomic: concurrent compiles race benignly
+        _count(
+            "repro_native_compiles_total",
+            "On-demand compiles of the batched LT kernel",
+        )
         return so_path
     except (OSError, subprocess.SubprocessError):
+        _count(
+            "repro_native_compile_failures_total",
+            "Kernel compile attempts that failed (callers fall back)",
+        )
         return None
 
 
@@ -188,7 +209,15 @@ def native_build_trees(
     """
     lib = _load()
     if lib is False:
+        _count(
+            "repro_native_fallbacks_total",
+            "Batched tree builds answered by the pure-Python path",
+        )
         return None
+    _count(
+        "repro_native_calls_total",
+        "Batched tree builds answered by the compiled kernel",
+    )
     offsets = np.ascontiguousarray(offsets, dtype=np.int64)
     sample_idx = np.ascontiguousarray(sample_idx, dtype=np.int64)
     batch = sample_idx.shape[0]

@@ -1,0 +1,68 @@
+"""Prometheus text-format (0.0.4) exposition of a metrics registry.
+
+No third-party client library: the format is a stable, line-oriented
+contract (``# HELP`` / ``# TYPE`` headers, one ``name{labels} value``
+sample per line, histograms as cumulative ``_bucket`` series plus
+``_sum``/``_count``) and emitting it directly keeps the serving layer
+stdlib-only.  The encoder consumes the plain-data output of
+:meth:`repro.obs.metrics.MetricsRegistry.collect`, so it never holds a
+metric lock while rendering.
+
+Golden-tested in ``tests/test_obs.py`` — the output bytes are part of
+the ops contract (scrapers parse them), not an implementation detail.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_text"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """The registry's current state as Prometheus exposition text."""
+    lines: list[str] = []
+    for family in registry.collect():
+        name, kind = family["name"], family["kind"]
+        if family["help"]:
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for label_names, label_values, suffix, value in family["samples"]:
+            if label_names:
+                labels = ",".join(
+                    f'{label}="{_escape_label_value(str(v))}"'
+                    for label, v in zip(label_names, label_values)
+                )
+                lines.append(
+                    f"{name}{suffix}{{{labels}}} {_format_value(value)}"
+                )
+            else:
+                lines.append(f"{name}{suffix} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""

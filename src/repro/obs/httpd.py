@@ -1,0 +1,90 @@
+"""Prometheus scrape endpoint: a tiny stdlib HTTP listener.
+
+``repro-imin serve --metrics-port N`` starts one of these next to the
+JSON-lines TCP server so a Prometheus scraper (or ``curl``) can pull
+the registry without speaking the service protocol:
+
+* ``GET /metrics`` — exposition text (0.0.4), the scrape target;
+* ``GET /``, ``GET /healthz`` — a one-line liveness answer;
+* anything else — 404.
+
+The listener is read-only over the registry (rendering never takes a
+metric lock thanks to :meth:`MetricsRegistry.collect`'s snapshot
+semantics) and runs on daemon threads, so a wedged scraper can never
+hold up request serving or process exit.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .exposition import CONTENT_TYPE, render_text
+from .metrics import global_registry, MetricsRegistry
+
+__all__ = ["MetricsServer", "start_metrics_server"]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_text(self.server.registry).encode("utf-8")
+            self._reply(200, CONTENT_TYPE, body)
+        elif path in ("/", "/healthz"):
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._reply(
+                404, "text/plain; charset=utf-8", b"not found\n"
+            )
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # scrapes are not events
+        pass
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """HTTP front of one :class:`MetricsRegistry` (``port=0`` binds an
+    ephemeral port; see :attr:`port`)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        registry: MetricsRegistry,
+    ) -> None:
+        super().__init__(address, _MetricsHandler)
+        self.registry = registry
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def start_metrics_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: MetricsRegistry | None = None,
+) -> MetricsServer:
+    """Bind and start serving (on a daemon thread); returns the server
+    so callers can read the bound port and ``shutdown()`` it."""
+    server = MetricsServer(
+        (host, port), registry if registry is not None else global_registry()
+    )
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name=f"repro-metrics-{server.port}",
+        daemon=True,
+    )
+    thread.start()
+    return server

@@ -1,0 +1,77 @@
+"""Structured event logging for the serving layer.
+
+One :class:`EventLog` per process surface.  In JSON mode
+(``repro-imin serve --log-json``) every event is one JSON object per
+line — machine-parseable, with a stable ``event`` discriminator and
+whatever fields the call site attaches (``trace_id``, ``op``,
+``graph``, ``duration_ms``, ...).  In human mode the same events
+render as ``key=value`` lines.  Either way the serving layer calls
+one API, which is what lets ``--log-json`` replace the server's bare
+prints without forking the call sites.
+
+Writes are lock-serialised so concurrent handler threads never
+interleave half-lines, and each event is flushed — the log is an ops
+surface; a crash must not swallow the events leading up to it.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import sys
+import threading
+from typing import IO
+
+__all__ = ["EventLog", "NULL_LOG"]
+
+
+class EventLog:
+    """Line-oriented event sink (JSON or ``key=value`` per event)."""
+
+    def __init__(
+        self,
+        stream: "IO[str] | None" = None,
+        json_mode: bool = False,
+        enabled: bool = True,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.json_mode = json_mode
+        self.enabled = enabled
+        self._lock = threading.Lock()
+
+    def event(self, event: str, **fields: object) -> None:
+        """Emit one event (dropping ``None``-valued fields)."""
+        if not self.enabled:
+            return
+        payload = {k: v for k, v in fields.items() if v is not None}
+        if self.json_mode:
+            record = {
+                "ts": datetime.datetime.now(
+                    datetime.timezone.utc
+                ).isoformat(timespec="milliseconds"),
+                "event": event,
+                **payload,
+            }
+            line = json.dumps(record, separators=(",", ":"), default=str)
+        else:
+            rendered = " ".join(
+                f"{k}={_human(v)}" for k, v in payload.items()
+            )
+            line = f"repro.service {event}" + (
+                f" {rendered}" if rendered else ""
+            )
+        with self._lock:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+
+
+def _human(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, str) and (" " in value or not value):
+        return json.dumps(value)
+    return str(value)
+
+
+NULL_LOG = EventLog(enabled=False)
+"""A disabled sink: library defaults log nothing unless handed a log."""

@@ -32,6 +32,7 @@ from typing import Callable, Iterable, Sequence
 from ..bench import pick_seeds, prepare_graph
 from ..core import solve_imin
 from ..engine import build_evaluator, SamplePool
+from ..obs import span, track
 from .registry import GraphRegistry
 
 __all__ = ["Artifact", "ArtifactCache", "ArtifactKey", "CacheStats"]
@@ -69,6 +70,12 @@ class CacheStats:
     evictions: int = 0
     rehydrations: int = 0
     """Builds that re-attached a persisted pool instead of sampling."""
+
+    def __post_init__(self) -> None:
+        # re-register into the shared metrics registry (attribute API
+        # unchanged): repro.obs sums these across live caches at
+        # collection time (repro_cache_*_total)
+        track("cache", self)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -325,16 +332,18 @@ class ArtifactCache:
             return artifact
 
     def _build(self, key: ArtifactKey) -> Artifact:
-        raw = self.registry.get(key.graph)
-        # prepare on a copy: the registry's raw graph is shared by
-        # every (model, seed) variant and must stay probability-free
-        prepared = prepare_graph(raw.copy(), key.model, rng=key.seed)
-        artifact = Artifact(
-            key,
-            prepared,
-            cache_dir=self.cache_dir,
-            build_workers=self.build_workers,
-        )
+        with span("cache.build"):
+            raw = self.registry.get(key.graph)
+            # prepare on a copy: the registry's raw graph is shared by
+            # every (model, seed) variant and must stay
+            # probability-free
+            prepared = prepare_graph(raw.copy(), key.model, rng=key.seed)
+            artifact = Artifact(
+                key,
+                prepared,
+                cache_dir=self.cache_dir,
+                build_workers=self.build_workers,
+            )
         self.stats.builds += 1
         if artifact.pool.stats.disk_loads:
             self.stats.rehydrations += 1

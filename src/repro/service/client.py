@@ -110,6 +110,10 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.call("stats")
 
+    def metrics(self) -> str:
+        """Prometheus text exposition of the server's registry."""
+        return self.call("metrics")
+
     def warm(self, **params) -> dict:
         return self.call("warm", **params)
 

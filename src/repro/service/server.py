@@ -30,6 +30,7 @@ Requests (all fields beyond ``op`` optional, with server defaults)::
     {"op": "stats",  "graph": "toy"}   # one WARM artifact's stats
                                        # (pool + sketch gauges); never
                                        # builds — errors if not warm
+    {"op": "metrics"}                  # Prometheus exposition text
     {"op": "warm",   "graph": "toy", "model": "wc", "theta": 200,
      "seed": 7}
     {"op": "spread", "graph": "toy", "seeds": [0], "blocked": [4]}
@@ -39,6 +40,20 @@ Requests (all fields beyond ``op`` optional, with server defaults)::
 
 An ``"id"`` field, when present, is echoed in the response so
 pipelining clients can match answers to questions.
+
+**Observability** (see :mod:`repro.obs`): every request runs under a
+trace — the client's ``"trace_id"`` (a string) or a server-assigned
+one, echoed in every response — and ``"trace": true`` attaches the
+per-phase span breakdown (queue wait, artifact resolution, engine
+evaluation, sketch rebases...) to the response, which is what
+``repro-imin query --trace`` prints.  Request counts, errors and
+latency histograms land in the shared metrics registry; the
+``metrics`` op returns it as Prometheus text (same registry the
+``--metrics-port`` HTTP listener scrapes).  Requests slower than the
+configured ``slow_ms`` threshold are recorded in a bounded slow-query
+log (surfaced under the service-wide ``stats`` op) with their phase
+summary, and an :class:`~repro.obs.EventLog` — JSON lines under
+``repro-imin serve --log-json`` — gets one event per request.
 """
 
 from __future__ import annotations
@@ -47,11 +62,25 @@ import json
 import queue
 import socketserver
 import threading
+import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core import ALGORITHMS
+from ..obs import (
+    current_trace,
+    EventLog,
+    global_registry,
+    install_standard_collectors,
+    MetricsRegistry,
+    new_trace,
+    NULL_LOG,
+    span,
+    Trace,
+    use_trace,
+)
 from .cache import Artifact, ArtifactCache, ArtifactKey
 from .registry import default_registry, GraphRegistry
 
@@ -95,6 +124,12 @@ class ServiceStats:
     batched_queries: int = 0
     """Spread queries answered as part of a multi-query batch."""
     max_batch: int = 0
+    on_batch: Callable[[int], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    """Optional observer called (outside the lock) per coalesced batch
+    — how BlockerService mirrors batch counts into its metrics
+    registry without ServiceStats knowing about registries."""
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -112,6 +147,8 @@ class ServiceStats:
             self.batches += 1
             self.batched_queries += size
             self.max_batch = max(self.max_batch, size)
+        if self.on_batch is not None:
+            self.on_batch(size)
 
     def as_dict(self) -> dict[str, object]:
         with self._lock:
@@ -130,14 +167,23 @@ _STOP = object()
 class _ArtifactExecutor:
     """One worker thread per artifact: serialisation + coalescing.
 
-    Work items are ``(kind, params, future)``.  The worker drains
-    everything queued at wake-up, groups ``spread`` items by
-    ``(seeds, theta)`` and answers each group with one batched engine
-    call; ``block`` items run individually (they are long and
-    stateful-greedy, there is nothing to share).  Because every query
-    is a pure function of the artifact key and its parameters, the
-    reordering this implies is observationally equivalent to any
-    serial order.
+    Work items are ``(kind, params, future, trace, enqueued_at)``.
+    The worker drains everything queued at wake-up, groups ``spread``
+    items by ``(seeds, theta)`` and answers each group with one
+    batched engine call; ``block`` items run individually (they are
+    long and stateful-greedy, there is nothing to share).  Because
+    every query is a pure function of the artifact key and its
+    parameters, the reordering this implies is observationally
+    equivalent to any serial order.
+
+    Tracing crosses the thread boundary explicitly: the submitting
+    handler passes its request trace, the worker records the queue
+    wait on it and activates it (:func:`~repro.obs.use_trace`) around
+    the engine call, so sketch/pool spans land on the request that
+    triggered the work.  A coalesced batch runs under the *leader's*
+    trace (first queued item); followers still get their queue-wait
+    and evaluate spans.  Results are computed before ``set_result``
+    so the handler thread never serialises a trace mid-write.
 
     Close is race-safe: enqueueing and the closed flag share a mutex,
     so no item can land behind the ``_STOP`` sentinel and hang its
@@ -158,11 +204,13 @@ class _ArtifactExecutor:
         )
         self._thread.start()
 
-    def submit(self, kind: str, params: dict):
+    def submit(self, kind: str, params: dict, trace: Trace | None = None):
         with self._mutex:
             if not self._closed:
                 future: Future = Future()
-                self._queue.put((kind, params, future))
+                self._queue.put(
+                    (kind, params, future, trace, time.monotonic())
+                )
                 enqueued = True
             else:
                 enqueued = False
@@ -171,12 +219,13 @@ class _ArtifactExecutor:
         return future.result()
 
     def _execute_one(self, kind: str, params: dict):
-        if kind == "spread":
-            return self._artifact.spread_many(
-                list(params["seeds"]), [params["blocked"]],
-                params["theta"],
-            )[0]
-        return self._artifact.block(**params)
+        with span("service.evaluate"):
+            if kind == "spread":
+                return self._artifact.spread_many(
+                    list(params["seeds"]), [params["blocked"]],
+                    params["theta"],
+                )[0]
+            return self._artifact.block(**params)
 
     def close(self) -> None:
         with self._mutex:
@@ -205,30 +254,44 @@ class _ArtifactExecutor:
             self._flush(items)
 
     def _flush(self, items: list) -> None:
+        drained_at = time.monotonic()
         spreads: dict[tuple, list] = {}
-        for kind, params, future in items:
+        for kind, params, future, trace, enqueued_at in items:
+            if trace is not None:
+                trace.add_span(
+                    "service.queue_wait",
+                    (drained_at - enqueued_at) * 1000.0,
+                )
             if kind == "spread":
                 group_key = (tuple(params["seeds"]), params["theta"])
-                spreads.setdefault(group_key, []).append((params, future))
+                spreads.setdefault(group_key, []).append(
+                    (params, future, trace)
+                )
             else:
                 try:
-                    future.set_result(self._artifact.block(**params))
+                    with use_trace(trace), span("service.evaluate"):
+                        result = self._artifact.block(**params)
+                    future.set_result(result)
                 except Exception as error:  # noqa: BLE001 - to caller
                     future.set_exception(error)
         for (seeds, theta), group in spreads.items():
             if len(group) > 1:
                 self._stats.count_batch(len(group))
+            # the batched call runs under the leader's trace: its spans
+            # are real engine work even when followers share the answer
+            leader_trace = group[0][2]
             try:
-                estimates = self._artifact.spread_many(
-                    list(seeds),
-                    [params["blocked"] for params, _ in group],
-                    theta,
-                )
+                with use_trace(leader_trace), span("service.evaluate"):
+                    estimates = self._artifact.spread_many(
+                        list(seeds),
+                        [params["blocked"] for params, _, _ in group],
+                        theta,
+                    )
             except Exception as error:  # noqa: BLE001 - to callers
-                for _, future in group:
+                for _, future, _ in group:
                     future.set_exception(error)
                 continue
-            for (_, future), estimate in zip(group, estimates):
+            for (_, future, _), estimate in zip(group, estimates):
                 future.set_result(estimate)
 
 
@@ -243,6 +306,9 @@ class BlockerService:
         max_bytes: int | None = None,
         cache_dir=None,
         defaults: dict | None = None,
+        metrics: MetricsRegistry | None = None,
+        log: EventLog | None = None,
+        slow_ms: float | None = None,
     ) -> None:
         self.registry = registry if registry is not None else (
             cache.registry if cache is not None else default_registry()
@@ -262,27 +328,81 @@ class BlockerService:
         # its idle worker thread) would outlive every eviction and
         # defeat the cache's memory bound
         self.cache.on_evict = self._retire_executor
+        # --- observability surface (repro.obs) ---
+        # shared registry by default, so the metrics op, the
+        # --metrics-port scrape and every engine-side gauge agree;
+        # tests hand in a fresh MetricsRegistry for isolation
+        self.metrics = metrics if metrics is not None else global_registry()
+        install_standard_collectors(self.metrics)
+        self.log = log if log is not None else NULL_LOG
+        self.slow_ms = slow_ms
+        self.slow_queries: deque[dict] = deque(maxlen=64)
+        self._slow_lock = threading.Lock()
+        self._m_requests = self.metrics.counter(
+            "repro_requests_total",
+            "Service requests dispatched, by op",
+            labels=("op",),
+        )
+        self._m_errors = self.metrics.counter(
+            "repro_request_errors_total",
+            "Service requests answered with ok=false",
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_request_duration_seconds",
+            "Wall-clock request latency through BlockerService.handle",
+            labels=("op",),
+        )
+        self._m_slow = self.metrics.counter(
+            "repro_slow_queries_total",
+            "Requests slower than the configured slow_ms threshold",
+        )
+        self._m_batches = self.metrics.counter(
+            "repro_coalesced_batches_total",
+            "Coalesced executions serving more than one spread query",
+        )
+        self._m_batched = self.metrics.counter(
+            "repro_coalesced_queries_total",
+            "Spread queries answered as part of a multi-query batch",
+        )
+        self.stats.on_batch = self._count_batch_metrics
+
+    def _count_batch_metrics(self, size: int) -> None:
+        self._m_batches.inc()
+        self._m_batched.inc(size)
 
     # ------------------------------------------------------------------
     # request plumbing
     # ------------------------------------------------------------------
     def handle(self, request: dict) -> dict:
-        """One request dict -> one response dict (never raises)."""
+        """One request dict -> one response dict (never raises).
+
+        Every request runs under a :class:`~repro.obs.Trace` — the
+        client's ``trace_id`` or a fresh one — whose id is echoed in
+        the response; ``"trace": true`` additionally attaches the
+        span tree.  Latency, counts and errors land in the metrics
+        registry, one event per request in the event log, and
+        requests over ``slow_ms`` in the bounded slow-query log.
+        """
+        op_label = "invalid"
+        started = time.monotonic()
+        trace = new_trace(self._client_trace_id(request))
         try:
-            if not isinstance(request, dict):
-                raise RequestError("request must be a JSON object")
-            op = request.get("op")
-            handler = self._handlers().get(op)
-            if handler is None:
-                raise RequestError(
-                    f"unknown op {op!r}; expected one of "
-                    + ", ".join(sorted(self._handlers()))
-                )
-            self.stats.count(op)
-            response: dict = {"ok": True, "op": op}
-            result = handler(request)
-            if result is not None:
-                response["result"] = result
+            with use_trace(trace):
+                if not isinstance(request, dict):
+                    raise RequestError("request must be a JSON object")
+                op = request.get("op")
+                handler = self._handlers().get(op)
+                if handler is None:
+                    raise RequestError(
+                        f"unknown op {op!r}; expected one of "
+                        + ", ".join(sorted(self._handlers()))
+                    )
+                op_label = op
+                self.stats.count(op)
+                response: dict = {"ok": True, "op": op}
+                result = handler(request)
+                if result is not None:
+                    response["result"] = result
         except RequestError as error:
             self.stats.count_error()
             response = {"ok": False, "error": str(error)}
@@ -294,13 +414,72 @@ class BlockerService:
             }
         if isinstance(request, dict) and "id" in request:
             response["id"] = request["id"]
+        response["trace_id"] = trace.trace_id
+        if isinstance(request, dict) and request.get("trace"):
+            response["trace"] = trace.as_dict()
+        self._finish_request(
+            op_label, request, response, trace,
+            (time.monotonic() - started) * 1000.0,
+        )
         return response
+
+    def _client_trace_id(self, request) -> str | None:
+        """The client-supplied trace id, when usable (non-empty
+        string); anything else means the server assigns one."""
+        if not isinstance(request, dict):
+            return None
+        trace_id = request.get("trace_id")
+        if isinstance(trace_id, str) and trace_id.strip():
+            return trace_id.strip()[:128]
+        return None
+
+    def _finish_request(
+        self,
+        op: str,
+        request,
+        response: dict,
+        trace: Trace,
+        duration_ms: float,
+    ) -> None:
+        """Metrics + event log + slow-query log for one request."""
+        self._m_requests.labels(op).inc()
+        self._m_latency.labels(op).observe(duration_ms / 1000.0)
+        if not response.get("ok"):
+            self._m_errors.inc()
+        graph = (
+            request.get("graph", self.defaults["graph"])
+            if isinstance(request, dict)
+            else None
+        )
+        self.log.event(
+            "request",
+            trace_id=trace.trace_id,
+            op=op,
+            graph=graph if op not in ("ping", "graphs", "metrics") else None,
+            ok=bool(response.get("ok")),
+            error=response.get("error"),
+            duration_ms=round(duration_ms, 3),
+        )
+        if self.slow_ms is not None and duration_ms >= self.slow_ms:
+            self._m_slow.inc()
+            record = {
+                "trace_id": trace.trace_id,
+                "op": op,
+                "graph": graph,
+                "duration_ms": round(duration_ms, 3),
+                "ok": bool(response.get("ok")),
+                "phases": trace.summary(),
+            }
+            with self._slow_lock:
+                self.slow_queries.append(record)
+            self.log.event("slow_query", **record)
 
     def _handlers(self) -> dict[str, Callable[[dict], object]]:
         return {
             "ping": lambda request: "pong",
             "graphs": self._op_graphs,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
             "warm": self._op_warm,
             "spread": self._op_spread,
             "block": self._op_block,
@@ -402,21 +581,32 @@ class BlockerService:
                     "first (op=warm) or query it (op=spread/block)"
                 )
             return artifact.describe()
+        with self._slow_lock:
+            slow = list(self.slow_queries)
         return {
             "service": self.stats.as_dict(),
             "cache": self.cache.describe(),
+            "slow_queries": slow,
         }
+
+    def _op_metrics(self, request: dict) -> str:
+        """Prometheus text exposition of the service's registry — the
+        same families the ``--metrics-port`` HTTP endpoint serves, so
+        JSON-lines-only deployments still get a scrapeable surface."""
+        return self.metrics.render()
 
     def _op_warm(self, request: dict) -> dict:
         key = self._artifact_key(request)
-        artifact = self._artifact(key)
+        with span("service.resolve"):
+            artifact = self._artifact(key)
         if request.get("seeds") is not None or request.get("sketch"):
             artifact.warm_sketch(self._seeds(request, artifact))
         return artifact.describe()
 
     def _op_spread(self, request: dict) -> dict:
         key = self._artifact_key(request)
-        artifact = self._artifact(key)
+        with span("service.resolve"):
+            artifact = self._artifact(key)
         seeds = self._seeds(request, artifact)
         blocked = _vertex_list(
             request.get("blocked", []), "blocked", artifact.csr.n
@@ -427,6 +617,7 @@ class BlockerService:
         estimate = self._executor(key).submit(
             "spread",
             {"seeds": seeds, "blocked": blocked, "theta": key.theta},
+            trace=current_trace(),
         )
         result = {
             **key.as_dict(),
@@ -440,7 +631,8 @@ class BlockerService:
 
     def _op_block(self, request: dict) -> dict:
         key = self._artifact_key(request)
-        artifact = self._artifact(key)
+        with span("service.resolve"):
+            artifact = self._artifact(key)
         seeds = self._seeds(request, artifact)
         budget = _as_int(request, "budget", 10)
         if budget < 1:
@@ -465,6 +657,7 @@ class BlockerService:
                 "theta": key.theta,
                 "rng": rng,
             },
+            trace=current_trace(),
         )
         return {**key.as_dict(), "seeds": seeds, "budget": budget, **outcome}
 
@@ -521,8 +714,20 @@ class _Handler(socketserver.StreamRequestHandler):
                 and request.get("op") == "shutdown"
             )
             if is_shutdown:
-                self.server.service.stats.count("shutdown")
-                self._send({"ok": True, "op": "shutdown", "result": "bye"})
+                service = self.server.service
+                service.stats.count("shutdown")
+                trace_id = service._client_trace_id(request)
+                if trace_id is None:
+                    trace_id = new_trace().trace_id
+                service.log.event(
+                    "shutdown", trace_id=trace_id, op="shutdown"
+                )
+                self._send({
+                    "ok": True,
+                    "op": "shutdown",
+                    "result": "bye",
+                    "trace_id": trace_id,
+                })
                 # shutdown() joins the serve_forever loop (a different
                 # thread); detach so this handler can finish its own
                 # connection first

@@ -300,6 +300,8 @@ class TestBlockerService:
     def test_ping(self, registry):
         service = BlockerService(registry=registry)
         response = service.handle({"op": "ping"})
+        trace_id = response.pop("trace_id")
+        assert isinstance(trace_id, str) and trace_id
         assert response == {"ok": True, "op": "ping", "result": "pong"}
 
     def test_unknown_op(self, registry):
