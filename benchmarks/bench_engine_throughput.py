@@ -32,7 +32,7 @@ import sys
 import time
 
 from repro.bench import format_table, pick_seeds
-from repro.engine import default_workers, make_evaluator
+from repro.engine import default_workers, EngineSpec, make_evaluator
 from repro.graph import barabasi_albert
 from repro.models import assign_weighted_cascade
 from repro.spread import MonteCarloEngine
@@ -130,11 +130,15 @@ def run_throughput(
         )
         record(label, measure, per, est)
 
-    vectorized = make_evaluator(graph, "vectorized", rng=rng)
+    vectorized = make_evaluator(
+        graph, EngineSpec(engine="vectorized", seed=rng)
+    )
     time_warmable("vectorized", vectorized)
     close(vectorized)
     for w in workers:
-        parallel = make_evaluator(graph, "parallel", rng=rng, workers=w)
+        parallel = make_evaluator(
+            graph, EngineSpec(engine="parallel", seed=rng, workers=w)
+        )
         time_warmable(f"parallel[w={w}]", parallel)
         close(parallel)
 
@@ -147,7 +151,9 @@ def run_throughput(
         for _ in range(max(1, repeats)):
             if evaluator is not None:
                 close(evaluator)
-            evaluator = make_evaluator(graph, backend, rng=rng)
+            evaluator = make_evaluator(
+                graph, EngineSpec(engine=backend, seed=rng)
+            )
             start = time.perf_counter()
             est = evaluator.expected_spread(seeds, query_rounds)
             per_cold = min(

@@ -29,6 +29,16 @@ Three report kinds, auto-detected:
     bit-compatibility contract); the rebase-microbench and cold-build
     speedups are reported but not gated (they are noisier slices of
     the same work the selection ratio already covers).
+``BENCH_mmap_artifacts.json`` (``bench_mmap_artifacts.py --json``)
+    Gates ``rehydrate_speedup_vs_cold`` — time-to-first-answer of a
+    fresh index memory-mapping the persisted sketch artifact,
+    normalized by the cold sample+build+persist path measured in the
+    same run on the same cache directory.  Fails hard if the report
+    says the rehydrated index diverged from the cold one (same base
+    gains, same greedy blockers through rebase rounds): persistence
+    is bit-identity or it is a bug.  The warm steady-state query
+    latency is reported but not gated (the sketch-query report
+    already covers that path).
 
 In every case the gated number is a *ratio of two same-run
 measurements*: raw ms differ wildly between the machine that committed
@@ -109,6 +119,18 @@ _SKETCH_QUERY_IDENTITY_PARAMS = (
     "repeats",
 )
 
+# and for the mmap-artifact report (cold build vs rehydrate)
+_MMAP_IDENTITY_PARAMS = (
+    "n",
+    "attach",
+    "theta",
+    "seeds",
+    "budget",
+    "rng",
+    "workers",
+    "repeats",
+)
+
 
 def _die(message: str) -> None:
     print(message, file=sys.stderr)
@@ -124,6 +146,8 @@ def report_kind(report: dict) -> str | None:
         return "sketch_build"
     if "select_speedup_vs_legacy" in report:
         return "sketch_query"
+    if "rehydrate_speedup_vs_cold" in report:
+        return "mmap_artifacts"
     return None
 
 
@@ -136,8 +160,9 @@ def load_report(path: str | Path) -> dict:
     if report_kind(report) is None:
         _die(
             f"error: {path} is not a BENCH_engine.json, "
-            "BENCH_service.json, BENCH_sketch_build.json or "
-            "BENCH_sketch_query.json report"
+            "BENCH_service.json, BENCH_sketch_build.json, "
+            "BENCH_sketch_query.json or BENCH_mmap_artifacts.json "
+            "report"
         )
     return report
 
@@ -305,6 +330,47 @@ def compare_sketch_query(
     return failures, lines
 
 
+def compare_mmap_artifacts(
+    current: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Mmap-artifact-report gate vs the baseline.
+
+    Gates ``rehydrate_speedup_vs_cold``: both sides of the ratio are
+    measured in one process against one cache directory, so machine
+    and disk speed cancel.  A report with ``identical: false`` fails
+    unconditionally — a rehydrated index that diverges from the cold
+    build breaks the persistence layer's bit-identity contract.
+    """
+    _check_params(current, baseline, _MMAP_IDENTITY_PARAMS)
+    failures: list[str] = []
+    lines: list[str] = []
+    if not current.get("identical", False):
+        failures.append("identical")
+        lines.append(
+            "FAIL identical: rehydrated index diverges from the cold "
+            "build"
+        )
+    metric = "rehydrate_speedup_vs_cold"
+    base_speed = float(baseline[metric])
+    cur_speed = float(current[metric])
+    floor = (1.0 - tolerance) * base_speed
+    verdict = "ok" if cur_speed >= floor else "FAIL"
+    lines.append(
+        f"{verdict:<5}{metric:<30} baseline {base_speed:7.2f}x  "
+        f"current {cur_speed:7.2f}x  floor {floor:7.2f}x"
+    )
+    lines.append(
+        "      cold "
+        f"{current.get('cold_build_s', '?')}s, rehydrate "
+        f"{current.get('rehydrate_s', '?')}s, warm query "
+        f"{current.get('warm_query_s', '?')}s at m="
+        f"{current.get('m', '?')} (informational, not gated)"
+    )
+    if cur_speed < floor:
+        failures.append(metric)
+    return failures, lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly measured BENCH_engine.json")
@@ -346,6 +412,11 @@ def main(argv: list[str] | None = None) -> int:
             current, baseline, args.tolerance
         )
         metric = "selection speedup vs legacy"
+    elif kind == "mmap_artifacts":
+        failures, lines = compare_mmap_artifacts(
+            current, baseline, args.tolerance
+        )
+        metric = "rehydrate speedup vs cold build"
     else:
         failures, lines = compare(current, baseline, args.tolerance)
         metric = "speedup vs scalar"

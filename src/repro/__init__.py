@@ -77,6 +77,7 @@ from .core import (
 from .bench import evaluate_spread
 from .dominator import DominatorTree, immediate_dominators
 from .engine import (
+    EngineSpec,
     make_evaluator,
     ParallelEvaluator,
     SamplePool,
@@ -124,6 +125,7 @@ __all__ = [
     "expected_spread_mcs",
     # the evaluation engine
     "SpreadEvaluator",
+    "EngineSpec",
     "make_evaluator",
     "VectorizedEvaluator",
     "ParallelEvaluator",

@@ -129,6 +129,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "bench_sketch_query.py",
         ),
         Experiment(
+            "mmap-artifacts", "(extension)",
+            "persisted sketch artifacts: mmap rehydrate vs cold build",
+            "bench_mmap_artifacts.py",
+        ),
+        Experiment(
             "service-latency", "(extension)",
             "warm repro.service queries vs cold single-shot CLI",
             "bench_service_latency.py",

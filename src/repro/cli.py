@@ -37,7 +37,7 @@ import time
 from .bench import evaluate_spread, pick_seeds, prepare_graph
 from .core import ALGORITHMS, solve_imin
 from .datasets import DATASETS, load_dataset
-from .engine import BACKENDS, build_evaluator
+from .engine import BACKENDS, build_evaluator, EngineSpec
 from .sampling import estimate_spread_sampled, resolve_theta
 
 __all__ = ["main", "build_parser"]
@@ -175,6 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--max-pending", type=int, default=None,
+        help=(
+            "per-artifact executor queue bound: queries beyond it are "
+            "rejected with error code `overloaded` instead of queueing "
+            "without bound (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
         "--slow-ms", type=float, default=1000.0,
         help=(
             "slow-query threshold in milliseconds; slower requests are "
@@ -207,6 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--graph", default=None, help="registered graph name")
     query.add_argument("--model", choices=("tr", "wc"), default=None)
     query.add_argument("--theta", type=int, default=None)
+    query.add_argument(
+        "--layout", choices=("arena", "legacy"), default=None,
+        help="sketch view layout of the artifact (default: arena)",
+    )
     query.add_argument(
         "--seed", type=int, default=None,
         help="artifact seed: keys the samples and the TR assignment",
@@ -309,6 +321,16 @@ def _common_args(sub: argparse.ArgumentParser) -> None:
         ),
     )
     sub.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persist pooled samples and sketch arena artifacts here "
+            "(--engine pooled/sketch): a rerun with the same "
+            "dataset/model/rng re-attaches them memory-mapped instead "
+            "of re-drawing and re-building"
+        ),
+    )
+    sub.add_argument(
         "--eps",
         type=float,
         default=None,
@@ -403,15 +425,28 @@ _SHORT_NAMES = {
 }
 
 
-def _make_engine(args, graph, stream: int = 0):
+def _engine_spec(args, theta: int | None = None) -> EngineSpec:
+    """The :class:`~repro.engine.EngineSpec` the CLI flags pin down."""
+    return EngineSpec(
+        engine=args.engine,
+        model=args.model,
+        theta=theta if theta is not None else 200,
+        seed=args.rng,
+        workers=args.workers,
+        layout=getattr(args, "sketch_layout", "arena"),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
+def _make_engine(args, graph, stream: int = 0, theta: int | None = None):
     """The injected evaluator, or None for the historical default.
 
     A thin shell over :func:`repro.engine.build_evaluator` (shared
-    with the serving layer), which owns the stream discipline: the
-    selection loop and the final quality evaluation get independent
-    RNG streams from ``--rng`` so they never share random worlds (with
-    the pooled backend, sharing would score the winner on the very
-    samples that selected it).
+    with the serving layer) driven by one :class:`EngineSpec`, which
+    owns the stream discipline: the selection loop and the final
+    quality evaluation get independent RNG streams from ``--rng`` so
+    they never share random worlds (with the pooled backend, sharing
+    would score the winner on the very samples that selected it).
     """
     if args.workers is not None:
         if args.workers < 1:
@@ -423,9 +458,7 @@ def _make_engine(args, graph, stream: int = 0):
     if args.engine == "scalar":
         return None
     return build_evaluator(
-        graph, args.engine, rng=args.rng, stream=stream,
-        workers=args.workers,
-        layout=getattr(args, "sketch_layout", "arena"),
+        graph, _engine_spec(args, theta), stream=stream
     )
 
 
@@ -438,7 +471,7 @@ def _cmd_block(args) -> int:
     algorithm = _SHORT_NAMES.get(args.algorithm, args.algorithm)
     theta = _resolve_theta(args, graph, default=200)
     with contextlib.ExitStack() as stack:
-        selector = _make_engine(args, graph, stream=0)
+        selector = _make_engine(args, graph, stream=0, theta=theta)
         if selector is not None:
             stack.enter_context(selector)
         start = time.perf_counter()
@@ -456,7 +489,7 @@ def _cmd_block(args) -> int:
         # final quality is judged by a separate evaluator stream so the
         # selection's random worlds are never reused to score their
         # winner
-        judge = _make_engine(args, graph, stream=1)
+        judge = _make_engine(args, graph, stream=1, theta=theta)
         if judge is not None:
             stack.enter_context(judge)
         spread = evaluate_spread(
@@ -484,7 +517,7 @@ def _cmd_spread(args) -> int:
         f"model={args.model} seeds={seeds} blocked={blocked}"
     )
     theta = _resolve_theta(args, graph, default=2000)
-    evaluator = _make_engine(args, graph)
+    evaluator = _make_engine(args, graph, theta=theta)
     if evaluator is not None:
         with evaluator:
             mean = evaluator.expected_spread(seeds, theta, blocked)
@@ -535,11 +568,15 @@ def _cmd_serve(args) -> int:
         build_workers=args.build_workers,
     )
     log = EventLog(json_mode=args.log_json)
+    if args.max_pending is not None and args.max_pending < 0:
+        print("error: --max-pending must be >= 0")
+        return 2
     service = BlockerService(
         registry=registry,
         cache=cache,
         log=log,
         slow_ms=args.slow_ms,
+        max_pending=args.max_pending,
     )
     metrics_server = None
     if args.metrics_port is not None:
@@ -583,6 +620,7 @@ def _cmd_query(args) -> int:
         "model": args.model,
         "theta": args.theta,
         "seed": args.seed,
+        "layout": args.layout,
         "seeds": args.seeds,
         "num_seeds": args.num_seeds,
         "blocked": args.blocked,

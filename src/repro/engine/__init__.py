@@ -47,6 +47,7 @@ from .evaluator import (
     SpreadEvaluator,
     VectorizedEvaluator,
 )
+from .spec import EngineSpec, MODELS
 from .kernels import (
     batch_activation_counts,
     batch_cascades,
@@ -71,6 +72,8 @@ __all__ = [
     "ParallelEvaluator",
     "PooledEvaluator",
     "BACKENDS",
+    "MODELS",
+    "EngineSpec",
     "make_evaluator",
     "build_evaluator",
     "batch_cascades",

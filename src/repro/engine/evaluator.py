@@ -35,6 +35,7 @@ identical across backends.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Protocol, runtime_checkable, Sequence
 
 import numpy as np
@@ -52,6 +53,7 @@ from .kernels import (
 from .parallel import ParallelEvaluator
 from .pool import SamplePool
 from .sketch import SketchIndex
+from .spec import BACKENDS, EngineSpec
 
 __all__ = [
     "SpreadEvaluator",
@@ -59,13 +61,10 @@ __all__ = [
     "VectorizedEvaluator",
     "PooledEvaluator",
     "BACKENDS",
+    "EngineSpec",
     "make_evaluator",
     "build_evaluator",
 ]
-
-BACKENDS: tuple[str, ...] = (
-    "scalar", "vectorized", "parallel", "pooled", "sketch",
-)
 
 
 @runtime_checkable
@@ -243,9 +242,19 @@ class PooledEvaluator(_EvaluatorLifecycle):
         return [total / rounds for total in totals]
 
 
-def make_evaluator(
+def _legacy_warning(factory: str) -> None:
+    warnings.warn(
+        f"passing a backend name and loose keywords to {factory}() is "
+        "deprecated; pass an EngineSpec "
+        "(repro.engine.EngineSpec) instead — see docs/api.md",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _make_evaluator(
     graph: DiGraph | CSRGraph,
-    backend: str = "scalar",
+    backend: str,
     rng: RngLike = None,
     workers: int | None = None,
     batch_size: int | None = None,
@@ -254,27 +263,7 @@ def make_evaluator(
     pool: SamplePool | None = None,
     layout: str = "arena",
 ) -> SpreadEvaluator:
-    """Construct a spread evaluator for ``graph`` by backend name.
-
-    Parameters
-    ----------
-    backend:
-        One of :data:`BACKENDS`.
-    workers:
-        Worker processes: simulation chunks for the ``parallel``
-        backend (default: all cores), batched dominator-tree
-        construction for the ``sketch`` backend (default: serial;
-        results are bit-identical either way).
-    batch_size:
-        Cascades simulated per numpy batch (vectorized family).
-    cache_dir / cache_key / pool:
-        Sample-pool persistence knobs (``pooled``/``sketch`` backends).
-    layout:
-        Sketch view layout (``sketch`` backend only): ``"arena"``
-        (default, the pooled-arena query path) or ``"legacy"`` (the
-        per-sample reference layout) — bit-identical answers either
-        way, see :class:`~repro.engine.sketch.SketchIndex`.
-    """
+    """Warning-free factory core shared by both calling conventions."""
     name = backend.lower()
     if name == "scalar":
         return ScalarEvaluator(graph, rng)
@@ -310,7 +299,82 @@ def make_evaluator(
     )
 
 
-def build_evaluator(
+def make_evaluator(
+    graph: DiGraph | CSRGraph,
+    spec: EngineSpec | str = "scalar",
+    rng: RngLike = None,
+    workers: int | None = None,
+    batch_size: int | None = None,
+    cache_dir=None,
+    cache_key: str | None = None,
+    pool: SamplePool | None = None,
+    layout: str = "arena",
+) -> SpreadEvaluator:
+    """Construct a spread evaluator for ``graph`` from an ``EngineSpec``.
+
+    Canonical form: ``make_evaluator(graph, spec)`` with ``spec`` an
+    :class:`~repro.engine.spec.EngineSpec` — the spec's ``seed`` seeds
+    the evaluator, ``workers``/``layout``/``cache_dir`` configure it,
+    and its ``model``/``theta`` fields key artifacts (the factory
+    consumes an already-prepared graph and per-query ``rounds``, so it
+    does not read them).  Runtime-only knobs remain keywords: ``pool``
+    shares an existing :class:`~repro.engine.pool.SamplePool`,
+    ``batch_size`` tunes the vectorized family, and an explicit
+    ``rng`` generator overrides the spec seed.
+
+    The historical form — a backend **name** plus loose keywords
+    (``backend``, ``rng``, ``workers``, ``cache_dir``...) — still
+    works but emits :class:`DeprecationWarning`; migrate to the spec.
+
+    Parameters (legacy form)
+    ------------------------
+    spec:
+        One of :data:`BACKENDS` (as a string).
+    workers:
+        Worker processes: simulation chunks for the ``parallel``
+        backend (default: all cores), sharded dominator-tree
+        construction for the ``sketch`` backend (default: serial;
+        results are bit-identical either way).
+    batch_size:
+        Cascades simulated per numpy batch (vectorized family).
+    cache_dir / cache_key / pool:
+        Sample-pool persistence knobs (``pooled``/``sketch`` backends).
+    layout:
+        Sketch view layout (``sketch`` backend only): ``"arena"``
+        (default, the pooled-arena query path) or ``"legacy"`` (the
+        per-sample reference layout) — bit-identical answers either
+        way, see :class:`~repro.engine.sketch.SketchIndex`.
+    """
+    if isinstance(spec, EngineSpec):
+        resolved_dir = spec.cache_dir if cache_dir is None else cache_dir
+        if cache_key is None and resolved_dir is not None:
+            cache_key = spec.cache_key(stream=0)
+        return _make_evaluator(
+            graph,
+            spec.engine,
+            rng=spec.seed if rng is None else rng,
+            workers=spec.workers if workers is None else workers,
+            batch_size=batch_size,
+            cache_dir=resolved_dir,
+            cache_key=cache_key,
+            pool=pool,
+            layout=spec.layout,
+        )
+    _legacy_warning("make_evaluator")
+    return _make_evaluator(
+        graph,
+        spec,
+        rng=rng,
+        workers=workers,
+        batch_size=batch_size,
+        cache_dir=cache_dir,
+        cache_key=cache_key,
+        pool=pool,
+        layout=layout,
+    )
+
+
+def _build_evaluator(
     graph: DiGraph | CSRGraph,
     backend: str,
     rng: RngLike = None,
@@ -322,36 +386,86 @@ def build_evaluator(
     pool: SamplePool | None = None,
     layout: str = "arena",
 ) -> SpreadEvaluator:
-    """:func:`make_evaluator` plus the RNG-stream discipline callers need.
-
-    Every front end (the CLI, the serving layer, benchmarks) wants the
-    same two things on top of the raw factory:
-
-    * **independent streams from one seed** — ``stream`` derives a
-      child generator via ``SeedSequence((rng, stream))`` when ``rng``
-      is an integer, so e.g. a selection loop (stream 0) and the final
-      quality judge (stream 1) never share random worlds (with pooled
-      backends, sharing would score a winner on the very samples that
-      selected it);
-    * **a context manager** — every evaluator built here supports
-      ``with``/``close()``, so worker pools are reliably shut down.
-
-    A non-integer ``rng`` (generator or ``None``) is passed through
-    unchanged and ``stream`` is ignored.  For the disk-cachable
-    backends an integer ``rng`` also derives a ``cache_key`` naming
-    the ``(seed, stream)`` pair, keeping on-disk pools correctly keyed
-    even though the factory only sees the derived generator.
-    """
+    """Warning-free stream-discipline core (see :func:`build_evaluator`)."""
     if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
         if cache_key is None:
             cache_key = f"seed{int(rng)}-stream{int(stream)}"
         rng = np.random.default_rng(
             np.random.SeedSequence((int(rng), int(stream)))
         )
-    return make_evaluator(
+    return _make_evaluator(
         graph,
         backend,
         rng=rng,
+        workers=workers,
+        batch_size=batch_size,
+        cache_dir=cache_dir,
+        cache_key=cache_key,
+        pool=pool,
+        layout=layout,
+    )
+
+
+def build_evaluator(
+    graph: DiGraph | CSRGraph,
+    spec: EngineSpec | str,
+    rng: RngLike = None,
+    stream: int = 0,
+    workers: int | None = None,
+    batch_size: int | None = None,
+    cache_dir=None,
+    cache_key: str | None = None,
+    pool: SamplePool | None = None,
+    layout: str = "arena",
+) -> SpreadEvaluator:
+    """:func:`make_evaluator` plus the RNG-stream discipline callers need.
+
+    Canonical form: ``build_evaluator(graph, spec, stream=...)`` with
+    ``spec`` an :class:`~repro.engine.spec.EngineSpec`.  Every front
+    end (the CLI, the serving layer, benchmarks) wants the same two
+    things on top of the raw factory:
+
+    * **independent streams from one seed** — ``stream`` derives a
+      child generator via ``SeedSequence((seed, stream))``, so e.g. a
+      selection loop (stream 0) and the final quality judge (stream 1)
+      never share random worlds (with pooled backends, sharing would
+      score a winner on the very samples that selected it);
+    * **a context manager** — every evaluator built here supports
+      ``with``/``close()``, so worker pools are reliably shut down.
+
+    With a spec, the on-disk ``cache_key`` is
+    :meth:`EngineSpec.cache_key` (model + seed + stream), keeping
+    pools and sketch artifacts correctly keyed even though the factory
+    only sees the derived generator.  An explicit ``rng`` generator
+    overrides the spec seed (and ``stream`` is then ignored), and an
+    explicit ``pool`` bypasses pool creation entirely.
+
+    The historical form — a backend **name** plus an integer or
+    generator ``rng`` and loose keywords — still works but emits
+    :class:`DeprecationWarning`; it derives the legacy
+    ``seed{rng}-stream{stream}`` cache key for integer seeds.
+    """
+    if isinstance(spec, EngineSpec):
+        if cache_key is None:
+            cache_key = spec.cache_key(stream)
+        return _build_evaluator(
+            graph,
+            spec.engine,
+            rng=spec.seed if rng is None else rng,
+            stream=stream,
+            workers=spec.workers if workers is None else workers,
+            batch_size=batch_size,
+            cache_dir=spec.cache_dir if cache_dir is None else cache_dir,
+            cache_key=cache_key,
+            pool=pool,
+            layout=spec.layout,
+        )
+    _legacy_warning("build_evaluator")
+    return _build_evaluator(
+        graph,
+        spec,
+        rng=rng,
+        stream=stream,
         workers=workers,
         batch_size=batch_size,
         cache_dir=cache_dir,

@@ -41,10 +41,14 @@ __all__ = [
     "split_rounds",
     "make_worker_pool",
     "worker_csr",
+    "worker_samples",
 ]
 
 # per-process CSR rehydrated by the pool initializer
 _WORKER_CSR: CSRGraph | None = None
+# per-process persisted-sample paths + the lazily attached mmaps
+_WORKER_SAMPLE_PATHS: tuple[str, str] | None = None
+_WORKER_SAMPLES: "tuple[np.ndarray, np.ndarray] | None" = None
 
 
 def default_workers() -> int:
@@ -72,7 +76,7 @@ def _start_method() -> str:
     return methods[0]
 
 
-def make_worker_pool(csr: CSRGraph, workers: int):
+def make_worker_pool(csr: CSRGraph, workers: int, sample_paths=None):
     """A ``multiprocessing`` pool whose workers hold ``csr`` resident.
 
     The one piece of worker infrastructure every parallel engine
@@ -83,12 +87,22 @@ def make_worker_pool(csr: CSRGraph, workers: int):
     :func:`worker_csr`.  Used by :class:`ParallelEvaluator` for spread
     chunks and by :mod:`repro.engine.treebuild` for batched
     dominator-tree construction.
+
+    ``sample_paths`` — the ``(offsets, positions)`` ``.npy`` files of
+    a persisted :class:`~repro.engine.pool.SamplePool` — hands workers
+    a **read-only memory mapping** of the pooled samples instead of
+    pickled per-task sample windows: tasks then ship sample *indices*
+    only and read the shared pages via :func:`worker_samples`.  Only
+    the paths cross the process boundary; each worker attaches lazily
+    on first use.
     """
     context = multiprocessing.get_context(_start_method())
+    if sample_paths is not None:
+        sample_paths = tuple(str(p) for p in sample_paths)
     return context.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(csr.indptr, csr.indices, csr.probs),
+        initargs=(csr.indptr, csr.indices, csr.probs, sample_paths),
     )
 
 
@@ -101,6 +115,46 @@ def worker_csr() -> CSRGraph:
     return _WORKER_CSR
 
 
+def worker_samples(min_theta: int) -> tuple[np.ndarray, np.ndarray]:
+    """This worker's mmap of the persisted pool, covering ``min_theta``.
+
+    Attaches ``np.load(..., mmap_mode="r")`` on first use and caches
+    the mapping for the life of the worker; when a cached mapping is
+    too short (the parent pool grew and re-persisted — renames are
+    atomic, so the cached arrays still point at the old inode) the
+    worker simply re-attaches the current files.  Offsets are loaded
+    before positions: the writer persists positions first, so an
+    offsets file always describes a consistent prefix of whatever
+    positions file it is paired with (the pool's chunk-seeded samples
+    are pure prefix extensions).
+    """
+    global _WORKER_SAMPLES
+    if _WORKER_SAMPLE_PATHS is None:
+        raise RuntimeError(
+            "worker_samples() requires a pool built with sample_paths"
+        )
+    cached = _WORKER_SAMPLES
+    if cached is None or cached[0].shape[0] - 1 < min_theta:
+        off_path, pos_path = _WORKER_SAMPLE_PATHS
+        offsets = np.load(off_path, mmap_mode="r")
+        positions = np.load(pos_path, mmap_mode="r")
+        if offsets.shape[0] - 1 < min_theta:
+            raise RuntimeError(
+                f"persisted pool at {off_path} holds "
+                f"{offsets.shape[0] - 1} samples, task needs "
+                f"{min_theta}"
+            )
+        if positions.shape[0] < int(offsets[-1]):
+            raise RuntimeError(
+                f"persisted pool at {pos_path} is torn: offsets "
+                f"expect {int(offsets[-1])} positions, file holds "
+                f"{positions.shape[0]}"
+            )
+        cached = (offsets, positions)
+        _WORKER_SAMPLES = cached
+    return cached
+
+
 def split_rounds(rounds: int, workers: int) -> list[int]:
     """Near-even positive chunk sizes summing to ``rounds``."""
     if rounds <= 0:
@@ -110,9 +164,11 @@ def split_rounds(rounds: int, workers: int) -> list[int]:
     return [base + (1 if i < extra else 0) for i in range(workers)]
 
 
-def _init_worker(indptr, indices, probs) -> None:
-    global _WORKER_CSR
+def _init_worker(indptr, indices, probs, sample_paths=None) -> None:
+    global _WORKER_CSR, _WORKER_SAMPLE_PATHS, _WORKER_SAMPLES
     _WORKER_CSR = CSRGraph.from_arrays(indptr, indices, probs)
+    _WORKER_SAMPLE_PATHS = sample_paths
+    _WORKER_SAMPLES = None
 
 
 def _run_chunk(task) -> int:

@@ -176,9 +176,11 @@ class SamplePool:
         if cache_key is None and isinstance(rng, int):
             cache_key = f"seed{rng}"
         self._cache_paths: tuple[Path, Path] | None = None
+        self._cache_digest: str | None = None
         if cache_dir is not None and cache_key is not None:
             digest = self._fingerprint(cache_key)
             base = Path(cache_dir)
+            self._cache_digest = digest
             self._cache_paths = (
                 base / f"pool-{digest}.offsets.npy",
                 base / f"pool-{digest}.positions.npy",
@@ -197,6 +199,24 @@ class SamplePool:
     def nbytes(self) -> int:
         """Resident bytes of the materialised sample arrays."""
         return int(self._offsets.nbytes + self._positions.nbytes)
+
+    @property
+    def cache_paths(self) -> tuple[Path, Path] | None:
+        """``(offsets, positions)`` paths of the persisted pool, or
+        ``None`` for a memory-only pool.  Consumers that derive their
+        own persistent artifacts from these samples (the sketch
+        index's arena views) anchor their files next to — and key them
+        by — the pool's, and worker processes attach the same files
+        memory-mapped instead of receiving pickled sample windows."""
+        return self._cache_paths
+
+    @property
+    def cache_digest(self) -> str | None:
+        """Content fingerprint of the persisted pool (graph arrays +
+        probabilities + stream key), or ``None`` when memory-only.
+        Stable across processes, so derived artifacts keyed by it are
+        shareable the same way the pool files are."""
+        return self._cache_digest
 
     def get(self, theta: int) -> SampleBatch:
         """A batch of the pool's first ``theta`` samples.

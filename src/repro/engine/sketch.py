@@ -74,7 +74,10 @@ trees instead of reweighting sketches.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -93,6 +96,27 @@ __all__ = ["SketchIndex", "SketchStats", "LAYOUTS"]
 _MAX_VIEWS = 4
 
 LAYOUTS: tuple[str, ...] = ("arena", "legacy")
+
+# on-disk arena-view format; bump on any layout/semantic change so
+# stale artifacts fall back to a cold build instead of misloading
+_SKETCH_FORMAT = 1
+
+# persisted array fields of an arena view: file tag -> attribute.
+# Everything a query or rebase reads is here, so a rehydrated view
+# answers without building a single tree.
+_ARTIFACT_FIELDS: tuple[tuple[str, str], ...] = (
+    ("lengths", "_lengths"),
+    ("starts", "_starts"),
+    ("order", "_order_arena"),
+    ("sizes", "_sizes_arena"),
+    ("delta", "_delta_sum"),
+    ("pindptr", "_post_indptr"),
+    ("psamples", "_post_samples"),
+    ("palive", "_post_alive"),
+    ("pkey", "_post_key"),
+    ("sindptr", "_samp_indptr"),
+    ("spidx", "_samp_pidx"),
+)
 
 
 @dataclass
@@ -125,6 +149,12 @@ class SketchStats:
     """Resident bytes of the inverted membership indexes (postings
     CSR, aliveness bits, search keys, by-sample posting table).  Zero
     for legacy-layout views."""
+    rehydrations: int = 0
+    """Arena views attached memory-mapped from a persisted artifact
+    instead of cold-built — a rehydrate skips sampling *and* every
+    tree build."""
+    persists: int = 0
+    """Arena views serialized to the artifact cache directory."""
 
     def __post_init__(self) -> None:
         # re-register into the shared metrics registry: attributes stay
@@ -142,6 +172,8 @@ class SketchStats:
             "tree_bytes": self.tree_bytes,
             "arena_bytes": self.arena_bytes,
             "postings_bytes": self.postings_bytes,
+            "rehydrations": self.rehydrations,
+            "persists": self.persists,
         }
 
 
@@ -322,6 +354,7 @@ class _ArenaSketchView:
         self.root = csr.n  # virtual super-source
         self.theta = batch.theta
         self.blocked: frozenset[int] = frozenset()
+        self._writable = True
         n = csr.n
         self._delta_sum = np.zeros(n + 1, dtype=np.float64)
         self._accounted_arena = 0
@@ -383,6 +416,146 @@ class _ArenaSketchView:
         )
         self._samp_pidx = np.argsort(self._post_samples, kind="stable")
         self._sync_bytes()
+
+    # ------------------------------------------------------------------
+    # persistence: .npy artifacts next to the sample pool's cache
+    # ------------------------------------------------------------------
+    def save(self, prefix: Path) -> bool:
+        """Serialize this view's **base** state as mmap-able ``.npy``
+        files under ``prefix`` (plus a ``.meta.json`` descriptor).
+
+        Only the unrebased state is ever written (the cold build calls
+        this before any query moves the blocker set), so every reader
+        rehydrates the same bit-identical starting point.  Each file
+        is written tmp-then-rename; the meta descriptor lands last and
+        acts as the commit marker — a crash mid-save leaves no
+        loadable artifact.  I/O failures are reported as ``False``
+        (persistence is an optimisation, never a correctness gate).
+        """
+        if self.blocked:
+            return False
+        arrays = dict(self._artifact_arrays())
+        try:
+            prefix.parent.mkdir(parents=True, exist_ok=True)
+            for tag, _ in _ARTIFACT_FIELDS:
+                path = _artifact_file(prefix, tag)
+                tmp = path.with_name(
+                    path.name[: -len(".npy")] + ".tmp.npy"
+                )
+                np.save(tmp, np.asarray(arrays[tag]))
+                tmp.replace(path)
+            meta = {
+                "format": _SKETCH_FORMAT,
+                "n": int(self.csr.n),
+                "theta": int(self.theta),
+                "seeds": [int(s) for s in self.seeds],
+                "used": int(self._used),
+                "spread_sum": int(self._spread_sum),
+            }
+            meta_path = _artifact_file(prefix, "meta", suffix=".json")
+            tmp = meta_path.with_name(meta_path.name + ".tmp")
+            tmp.write_text(json.dumps(meta, separators=(",", ":")))
+            tmp.replace(meta_path)
+        except OSError:
+            return False
+        self.stats.persists += 1
+        return True
+
+    def _artifact_arrays(self):
+        """``(tag, array)`` pairs in persisted form (arenas trimmed to
+        ``used`` — a fresh cold build has no slack, and slack must not
+        be persisted anyway)."""
+        for tag, attr in _ARTIFACT_FIELDS:
+            array = getattr(self, attr)
+            if attr in ("_order_arena", "_sizes_arena"):
+                array = array[: self._used]
+            yield tag, array
+
+    @classmethod
+    def from_artifact(
+        cls,
+        csr: CSRGraph,
+        batch: SampleBatch,
+        seeds: tuple[int, ...],
+        stats: SketchStats,
+        builder: TreeBuilder,
+        prefix: Path,
+    ) -> "_ArenaSketchView | None":
+        """Rehydrate a persisted base view, memory-mapped read-only.
+
+        Returns ``None`` (caller cold-builds) unless a complete,
+        format- and identity-matching artifact exists.  The attached
+        arrays are copy-on-write at the view level: queries read the
+        shared pages directly; the first rebase promotes the mutable
+        arrays to private copies (:meth:`_promote`) while the large
+        immutable postings structures stay mapped forever.
+        """
+        meta_path = _artifact_file(prefix, "meta", suffix=".json")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            meta.get("format") != _SKETCH_FORMAT
+            or meta.get("n") != csr.n
+            or meta.get("theta") != batch.theta
+            or tuple(meta.get("seeds", ())) != tuple(seeds)
+        ):
+            return None
+        arrays = {}
+        try:
+            for tag, _ in _ARTIFACT_FIELDS:
+                arrays[tag] = np.load(
+                    _artifact_file(prefix, tag), mmap_mode="r"
+                )
+        except (OSError, ValueError):
+            return None
+        used = int(meta.get("used", -1))
+        theta = batch.theta
+        if not _artifact_shapes_ok(arrays, csr.n, theta, used):
+            return None
+        view = cls.__new__(cls)
+        view.csr = csr
+        view.batch = batch
+        view.seeds = seeds
+        view.stats = stats
+        view.builder = builder
+        view.root = csr.n
+        view.theta = theta
+        view.blocked = frozenset()
+        view._writable = False
+        view._used = used
+        view._spread_sum = int(meta["spread_sum"])
+        view._accounted_arena = 0
+        view._accounted_postings = 0
+        for tag, attr in _ARTIFACT_FIELDS:
+            setattr(view, attr, arrays[tag])
+        view._sync_bytes()
+        stats.rehydrations += 1
+        return view
+
+    def _promote(self) -> None:
+        """First-write promotion of a rehydrated view.
+
+        Copies exactly the arrays a rebase mutates — the delta sums,
+        aliveness bits, arenas and slot tables — into private writable
+        memory.  The postings CSR, search keys and by-sample table are
+        immutable for the view's lifetime and keep reading the shared
+        mapping, so promotion costs one pass over the mutable half
+        only.  No-op for cold-built (already private) views.
+        """
+        if self._writable:
+            return
+        for attr in (
+            "_delta_sum",
+            "_post_alive",
+            "_order_arena",
+            "_sizes_arena",
+            "_starts",
+            "_lengths",
+        ):
+            setattr(self, attr, np.array(getattr(self, attr)))
+        self._writable = True
 
     # ------------------------------------------------------------------
     # byte accounting (all gauges re-synced only after success)
@@ -479,6 +652,10 @@ class _ArenaSketchView:
                     self.batch, touched, self.seeds, sorted(blocked)
                 )
                 self.stats.trees_built += int(touched.shape[0])
+                # first write into a rehydrated view: promote the
+                # mutable arrays to private copies (after the build,
+                # so a builder failure leaves the mapping untouched)
+                self._promote()
                 self._writeback(touched, lengths, orders, sizes)
                 self.stats.rebases += 1
                 self._sync_bytes()
@@ -593,6 +770,43 @@ class _ArenaSketchView:
             return self._delta_sum[: self.csr.n] / self.theta
 
 
+def _artifact_file(prefix: Path, tag: str, suffix: str = ".npy") -> Path:
+    """Path of one artifact field: ``<prefix>.<tag><suffix>``."""
+    return prefix.with_name(f"{prefix.name}.{tag}{suffix}")
+
+
+def _artifact_shapes_ok(
+    arrays: dict[str, np.ndarray], n: int, theta: int, used: int
+) -> bool:
+    """Structural validation of a loaded artifact set.
+
+    Cheap invariant checks (shapes consistent with the graph size,
+    ``theta`` and the recorded arena usage) so a truncated or
+    mismatched file set degrades to a cold build instead of an
+    out-of-bounds read deep inside a query.
+    """
+    if used < theta or used != int(arrays["lengths"].sum()):
+        return False
+    postings = arrays["psamples"].shape[0]
+    expected = {
+        "lengths": theta,
+        "starts": theta,
+        "order": used,
+        "sizes": used,
+        "delta": n + 1,
+        "pindptr": n + 1,
+        "psamples": postings,
+        "palive": postings,
+        "pkey": postings,
+        "sindptr": theta + 1,
+        "spidx": postings,
+    }
+    return all(
+        arrays[tag].ndim == 1 and arrays[tag].shape[0] == size
+        for tag, size in expected.items()
+    ) and bool(arrays["palive"].dtype == np.bool_)
+
+
 def _payload_mask(lengths: np.ndarray) -> np.ndarray:
     """Mask selecting non-root entries of concatenated tree payloads
     (each tree's root sits at its own offset 0)."""
@@ -663,7 +877,13 @@ class SketchIndex:
         self.csr = self.pool.csr
         self.workers = workers
         self.layout = layout
-        self.builder = TreeBuilder(self.csr, workers=workers)
+        # when the pool persists its samples, hand the worker pool the
+        # .npy paths: sharded builds then ship sample *indices* only
+        # and read the pooled samples via a shared read-only mapping
+        self.builder = TreeBuilder(
+            self.csr, workers=workers,
+            sample_paths=self.pool.cache_paths,
+        )
         self.stats = SketchStats()
         self._views: dict[tuple[tuple[int, ...], int], object] = {}
 
@@ -685,23 +905,60 @@ class SketchIndex:
         # lookup and the refresh (the serving layer's eviction path)
         view = self._views.pop(key, None)
         if view is None:
-            view_cls = (
-                _ArenaSketchView
-                if self.layout == "arena"
-                else _LegacySketchView
-            )
-            with span("sketch.build"):
-                view = view_cls(
-                    self.csr,
-                    self.pool.get(theta),
-                    seed_tuple,
-                    self.stats,
-                    self.builder,
+            batch = self.pool.get(theta)
+            prefix = self._artifact_prefix(seed_tuple, theta)
+            if prefix is not None:
+                view = _ArenaSketchView.from_artifact(
+                    self.csr, batch, seed_tuple, self.stats,
+                    self.builder, prefix,
                 )
+            if view is None:
+                view_cls = (
+                    _ArenaSketchView
+                    if self.layout == "arena"
+                    else _LegacySketchView
+                )
+                with span("sketch.build"):
+                    view = view_cls(
+                        self.csr,
+                        batch,
+                        seed_tuple,
+                        self.stats,
+                        self.builder,
+                    )
+                if prefix is not None:
+                    view.save(prefix)
         self._views[key] = view
         while len(self._views) > _MAX_VIEWS:
             self._views.pop(next(iter(self._views))).drop()
         return view
+
+    def _artifact_prefix(
+        self, seeds: tuple[int, ...], theta: int
+    ) -> Path | None:
+        """On-disk prefix for this view's persisted arena artifact, or
+        ``None`` when the view is not persistable (no disk-backed
+        pool, or legacy layout).
+
+        The key piggybacks on the sample pool's cache digest — which
+        already fingerprints the graph structure, probabilities and
+        cache key — extended with the artifact format version, layout,
+        ``theta`` and the seed set, so any semantic change lands on a
+        fresh file name and stale artifacts are simply never loaded.
+        """
+        if self.layout != "arena":
+            return None
+        digest = self.pool.cache_digest
+        paths = self.pool.cache_paths
+        if digest is None or paths is None:
+            return None
+        seed_key = ",".join(str(s) for s in seeds)
+        key = (
+            f"{digest}:v{_SKETCH_FORMAT}:{self.layout}"
+            f":theta{theta}:seeds{seed_key}"
+        )
+        short = hashlib.sha256(key.encode()).hexdigest()[:16]
+        return Path(paths[0]).parent / f"sketch-{short}"
 
     @property
     def nbytes(self) -> int:

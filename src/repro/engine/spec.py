@@ -1,0 +1,125 @@
+"""Frozen engine configuration: one value object instead of six knobs.
+
+Every layer that constructs a spread evaluator — the CLI, the serving
+layer's artifact cache, benchmarks — used to thread the same loose
+keywords (``backend``, ``rng``, ``workers``, ``layout``,
+``cache_dir``...) through its own signatures, and each layer invented
+its own partial subset.  :class:`EngineSpec` names the full identity
+of an engine once:
+
+* **what** is estimated — ``engine`` (one of :data:`BACKENDS`) and
+  ``layout`` (sketch view layout, see
+  :data:`repro.engine.sketch.LAYOUTS`);
+* **which randomness** — ``model`` (edge-probability model, one of
+  :data:`MODELS`) and the integer ``seed`` that keys both the RNG
+  streams and the on-disk artifact cache;
+* **how it runs** — ``workers`` (process fan-out) and ``cache_dir``
+  (persistent sample pools + sketch artifacts, memory-mapped on
+  rehydrate).
+
+The dataclass is frozen and hashable, so a spec can key caches and be
+shared across threads; :meth:`cache_key` derives the stable on-disk
+stream identity (model + seed + stream) that the pool and sketch
+persistence layers fingerprint.  ``theta`` (the Theorem-5 sample
+count) rides along because artifacts are keyed by it — evaluator
+factories accept per-query ``rounds`` and do not consume it directly.
+
+:func:`repro.engine.make_evaluator` / :func:`~repro.engine
+.build_evaluator` accept an ``EngineSpec`` as the canonical calling
+convention; the historical keyword signatures remain as thin
+deprecated wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from .sketch import LAYOUTS
+
+__all__ = ["BACKENDS", "MODELS", "EngineSpec"]
+
+BACKENDS: tuple[str, ...] = (
+    "scalar", "vectorized", "parallel", "pooled", "sketch",
+)
+
+MODELS: tuple[str, ...] = ("tr", "wc")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Identity + runtime configuration of one spread engine."""
+
+    engine: str = "sketch"
+    """Backend name, one of :data:`BACKENDS`."""
+    model: str = "wc"
+    """Edge-probability model, one of :data:`MODELS` — keys prepared
+    graphs and on-disk artifacts; the evaluator factories themselves
+    consume already-prepared graphs."""
+    theta: int = 200
+    """Sample count the artifact is sized for (the Theorem-5 knob)."""
+    seed: int = 7
+    """Integer root seed: keys RNG streams and the disk cache."""
+    workers: int | None = None
+    """Worker processes (parallel spread chunks / sharded sketch
+    builds); ``None`` = serial, results bit-identical either way."""
+    layout: str = "arena"
+    """Sketch view layout, one of
+    :data:`repro.engine.sketch.LAYOUTS`."""
+    cache_dir: str | Path | None = None
+    """Directory for persistent, memory-mappable artifacts (sample
+    pools and arena sketch views); ``None`` = memory only."""
+
+    def __post_init__(self) -> None:
+        if self.engine not in BACKENDS:
+            raise ValueError(
+                f"unknown engine {self.engine!r}: expected one of "
+                + ", ".join(BACKENDS)
+            )
+        if self.model not in MODELS:
+            raise ValueError(
+                f"unknown model {self.model!r}: expected one of "
+                + ", ".join(MODELS)
+            )
+        if isinstance(self.theta, bool) or not isinstance(self.theta, int):
+            raise ValueError("theta must be an integer")
+        if self.theta <= 0:
+            raise ValueError("theta must be positive")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ValueError("seed must be an integer")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown sketch layout {self.layout!r}: expected one "
+                "of " + ", ".join(LAYOUTS)
+            )
+
+    # ------------------------------------------------------------------
+    # derived identities
+    # ------------------------------------------------------------------
+    def cache_key(self, stream: int = 0) -> str:
+        """Stable on-disk stream identity for artifact fingerprints.
+
+        Includes the model so pools prepared under different
+        probability models never collide even when a caller reuses one
+        ``cache_dir`` (graph content already contributes the
+        probability arrays, the key makes the intent explicit)."""
+        return f"{self.model}-seed{self.seed}-stream{int(stream)}"
+
+    def with_engine(self, engine: str) -> "EngineSpec":
+        """This spec with a different backend (same identity knobs)."""
+        return replace(self, engine=engine)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "engine": self.engine,
+            "model": self.model,
+            "theta": self.theta,
+            "seed": self.seed,
+            "workers": self.workers,
+            "layout": self.layout,
+            "cache_dir": (
+                None if self.cache_dir is None else str(self.cache_dir)
+            ),
+        }

@@ -41,7 +41,7 @@ from ..graph import CSRGraph
 from ..native import native_build_trees
 from ..obs import span
 from .kernels import sample_csr
-from .parallel import make_worker_pool, worker_csr
+from .parallel import make_worker_pool, worker_csr, worker_samples
 from .pool import SampleBatch
 
 __all__ = [
@@ -125,6 +125,71 @@ def _build_trees_task(task):
     return lengths, orders, sizes
 
 
+def _packed_payload(
+    csr: CSRGraph,
+    offsets: np.ndarray,
+    positions: np.ndarray,
+    idx: np.ndarray,
+    seed_arr: np.ndarray,
+    blocked: list,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
+    """``(lengths, orders, sizes, used_native)`` for one sample range.
+
+    The native-kernel-or-Python core shared by the parent's serial
+    path and the sharded worker tasks: tries the compiled batched
+    kernel first, falls back to the per-sample Python build.  Both
+    paths are bit-identical (each tree is a pure function of its
+    sample), so where a range is built — parent, worker, C or
+    Python — never changes the payload.
+    """
+    n = csr.n
+    if n > 0:
+        mask = np.zeros(n, dtype=np.uint8)
+        if blocked:
+            mask[np.asarray(blocked, dtype=np.int64)] = 1
+        native = native_build_trees(
+            n, csr.indptr, csr.indices, positions, offsets, idx,
+            seed_arr, mask,
+        )
+        if native is not None:
+            return native + (True,)
+    trees = [
+        build_sample_tree(
+            csr,
+            positions[offsets[t]: offsets[t + 1]],
+            seed_arr,
+            blocked,
+        )
+        for t in idx
+    ]
+    lengths = np.asarray(
+        [order.shape[0] for order, _ in trees], dtype=np.int64
+    )
+    orders = np.concatenate([order for order, _ in trees])
+    sizes = np.concatenate([sizes for _, sizes in trees])
+    return lengths, orders, sizes, False
+
+
+def _packed_shard_task(task):
+    """Worker-side packed shard: one contiguous sample range.
+
+    Two handoff modes: ``"mmap"`` tasks carry only sample indices —
+    the worker reads the persisted pool through its own read-only
+    memory mapping (:func:`worker_samples`), so the samples are never
+    pickled; ``"window"`` tasks fall back to shipping the packed
+    sample window inline (memory-only pools).
+    """
+    if task[0] == "mmap":
+        _, idx, seed_arr, blocked, min_theta = task
+        offsets, positions = worker_samples(min_theta)
+    else:
+        _, offsets, positions, seed_arr, blocked = task
+        idx = np.arange(offsets.shape[0] - 1, dtype=np.int64)
+    return _packed_payload(
+        worker_csr(), offsets, positions, idx, seed_arr, list(blocked)
+    )
+
+
 class TreeBuilder:
     """Batched tree construction with a reusable worker pool.
 
@@ -142,13 +207,24 @@ class TreeBuilder:
     sketch index ties this to its own ``close()``).
     """
 
-    def __init__(self, csr: CSRGraph, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        csr: CSRGraph,
+        workers: int | None = None,
+        sample_paths=None,
+    ) -> None:
         self.csr = csr
         self.workers = workers
+        # (offsets, positions) .npy files of a persisted SamplePool:
+        # when present (and on disk), sharded packed builds hand the
+        # workers these paths once and ship only sample indices per
+        # task — every worker reads the one read-only mapping instead
+        # of receiving pickled sample windows
+        self.sample_paths = sample_paths
         self._pool = None
         self._pool_size = 0
         # True when the last build_packed() call ran the native kernel
-        # (observability for tests and benchmark reports)
+        # in every shard (observability for tests and bench reports)
         self._packed_native = False
 
     def build(
@@ -224,26 +300,70 @@ class TreeBuilder:
             empty = np.zeros(0, dtype=np.int64)
             return empty, empty.copy(), empty.copy()
         with span("sketch.treebuild"):
-            n = self.csr.n
-            if n > 0:
-                mask = np.zeros(n, dtype=np.uint8)
-                if blocked:
-                    mask[np.asarray(blocked, dtype=np.int64)] = 1
-                native = native_build_trees(
-                    n, self.csr.indptr, self.csr.indices,
-                    batch.positions, batch.offsets, idx, seed_arr, mask,
-                )
-                if native is not None:
-                    self._packed_native = True
-                    return native
-            self._packed_native = False
-            trees = self.build(batch, idx, seeds, blocked)
-            lengths = np.asarray(
-                [order.shape[0] for order, _ in trees], dtype=np.int64
+            effective = auto_build_workers(
+                self.workers, idx.shape[0], self.csr.n
             )
-            orders = np.concatenate([order for order, _ in trees])
-            sizes = np.concatenate([sizes for _, sizes in trees])
+            if effective > 1:
+                return self._build_packed_sharded(
+                    batch, idx, seed_arr, blocked, effective
+                )
+            lengths, orders, sizes, used_native = _packed_payload(
+                self.csr, batch.offsets, batch.positions, idx,
+                seed_arr, blocked,
+            )
+            self._packed_native = used_native
             return lengths, orders, sizes
+
+    def _build_packed_sharded(
+        self,
+        batch: SampleBatch,
+        idx: np.ndarray,
+        seed_arr: np.ndarray,
+        blocked: list,
+        effective: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Theta sharded across builder processes, arena-order output.
+
+        Each worker builds one contiguous range of the requested
+        samples into its own packed segment (running the native kernel
+        when it compiles there — the shared object cache is
+        cross-process); the parent concatenates segments in shard
+        order, which is exactly the offset fix-up the arena layout
+        needs: lengths/orders/sizes are position-aligned with ``idx``
+        regardless of which process built what.  Workers read the
+        samples through a shared read-only mmap of the persisted pool
+        when available, falling back to pickled packed windows.
+        """
+        chunks = [
+            chunk
+            for chunk in np.array_split(idx, effective)
+            if chunk.shape[0]
+        ]
+        if self._sample_files_ready():
+            min_theta = int(idx.max()) + 1
+            tasks = [
+                ("mmap", chunk, seed_arr, blocked, min_theta)
+                for chunk in chunks
+            ]
+        else:
+            tasks = [
+                ("window",) + batch.pack(chunk) + (seed_arr, blocked)
+                for chunk in chunks
+            ]
+        results = self._ensure_pool(len(tasks)).map(
+            _packed_shard_task, tasks
+        )
+        self._packed_native = all(native for *_, native in results)
+        lengths = np.concatenate([r[0] for r in results])
+        orders = np.concatenate([r[1] for r in results])
+        sizes = np.concatenate([r[2] for r in results])
+        return lengths, orders, sizes
+
+    def _sample_files_ready(self) -> bool:
+        if self.sample_paths is None:
+            return False
+        off_path, pos_path = self.sample_paths
+        return off_path.is_file() and pos_path.is_file()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -254,7 +374,9 @@ class TreeBuilder:
         # the cold build's pool
         if self._pool is None or self._pool_size < workers:
             self.close()
-            self._pool = make_worker_pool(self.csr, workers)
+            self._pool = make_worker_pool(
+                self.csr, workers, sample_paths=self.sample_paths
+            )
             self._pool_size = workers
         return self._pool
 

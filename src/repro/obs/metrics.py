@@ -499,6 +499,13 @@ _STANDARD_COLLECTORS: tuple[tuple[str, str, str, str, str], ...] = (
     ("repro_sketch_samples_skipped_total",
      "Samples left untouched by rebases (the incremental win)",
      "sketch", "samples_skipped", "counter"),
+    ("repro_sketch_view_rehydrations_total",
+     "Arena views attached memory-mapped from persisted artifacts "
+     "instead of cold-built",
+     "sketch", "rehydrations", "counter"),
+    ("repro_sketch_view_persists_total",
+     "Arena views serialized to the artifact cache directory",
+     "sketch", "persists", "counter"),
     # artifact-cache counters (CacheStats)
     ("repro_cache_hits_total", "Artifact-cache hits",
      "cache", "hits", "counter"),

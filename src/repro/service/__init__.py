@@ -11,23 +11,36 @@ artifacts resident and serves many queries against them:
     gzip-compressed) SNAP edge lists resolved by name, loaded lazily.
 :mod:`repro.service.cache`
     Size-bounded LRU of warm ``(SamplePool, SketchIndex)`` artifacts
-    keyed by ``(graph, model, theta, seed)``, with hit/miss/eviction
-    stats and disk rehydration through the pool's persistence.
+    keyed by ``(graph, model, theta, seed, layout)``, with
+    hit/miss/eviction stats and disk rehydration of both the pool's
+    samples and the sketch's arena views through their persistence.
 :mod:`repro.service.server`
     Threaded TCP/JSON-lines server (stdlib only) exposing ``block``,
-    ``spread``, ``warm``, ``stats`` and ``graphs``, with per-artifact
-    request coalescing: concurrent spread queries against one artifact
-    collapse into one vectorized engine call.
+    ``spread``, ``warm``, ``stats`` and ``graphs`` over the versioned
+    v1 wire protocol (structured error envelope, stable error codes),
+    with per-artifact request coalescing: concurrent spread queries
+    against one artifact collapse into one vectorized engine call.
 :mod:`repro.service.client`
-    The matching client; ``repro-imin serve`` / ``repro-imin query``
-    make the CLI a thin shell around both.
+    The matching client — typed query verbs, error codes mapped to
+    typed exceptions; ``repro-imin serve`` / ``repro-imin query`` make
+    the CLI a thin shell around both.
 """
 
 from .cache import Artifact, ArtifactCache, ArtifactKey, CacheStats
-from .client import DEFAULT_PORT, ServiceClient, ServiceError
+from .client import (
+    BadParamsError,
+    DEFAULT_PORT,
+    OverloadedError,
+    ServiceClient,
+    ServiceError,
+    UnknownGraphError,
+    UnknownOpError,
+)
 from .registry import default_registry, GraphEntry, GraphRegistry
 from .server import (
     BlockerService,
+    ERROR_CODES,
+    PROTOCOL_VERSION,
     RequestError,
     serve,
     ServiceServer,
@@ -43,11 +56,17 @@ __all__ = [
     "GraphRegistry",
     "default_registry",
     "BlockerService",
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
     "RequestError",
     "ServiceServer",
     "ServiceStats",
     "serve",
+    "BadParamsError",
+    "OverloadedError",
     "ServiceClient",
     "ServiceError",
+    "UnknownGraphError",
+    "UnknownOpError",
     "DEFAULT_PORT",
 ]

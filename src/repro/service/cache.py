@@ -9,16 +9,19 @@ query), and a :class:`~repro.engine.sketch.SketchIndex` sharing the
 same pool (used for blocker selection — O(1) marginal gains).
 
 Artifacts are keyed by :class:`ArtifactKey` ``(graph, model, theta,
-seed)`` and built deterministically from the key: the same key always
-yields bit-identical samples and therefore bit-identical answers,
-which is what makes cache hits *semantically* transparent, not just
-faster.
+seed, layout)`` and built deterministically from the key via an
+:class:`~repro.engine.spec.EngineSpec`: the same key always yields
+bit-identical samples and therefore bit-identical answers, which is
+what makes cache hits *semantically* transparent, not just faster.
 
 The cache is bounded by entry count and bytes; eviction is LRU.  With
 a ``cache_dir`` the pools persist through ``repro.engine.pool``'s
-``.npy`` snapshots, so evicting an artifact only drops memory — a
-later rebuild of the same key re-attaches the samples memory-mapped
-instead of re-drawing them (counted in ``stats.rehydrations``).
+``.npy`` snapshots and the sketch index persists its arena views as
+mmap-able ``.npy`` artifacts next to them, so evicting an artifact
+only drops memory — a later rebuild of the same key re-attaches the
+samples *and* the dominator-tree arenas memory-mapped instead of
+re-drawing and re-building them (counted in ``stats.rehydrations``
+and the sketch's ``rehydrations`` gauge respectively).
 """
 
 from __future__ import annotations
@@ -31,7 +34,8 @@ from typing import Callable, Iterable, Sequence
 
 from ..bench import pick_seeds, prepare_graph
 from ..core import solve_imin
-from ..engine import build_evaluator, SamplePool
+from ..engine import build_evaluator, EngineSpec, SamplePool
+from ..engine.sketch import LAYOUTS
 from ..obs import span, track
 from .registry import GraphRegistry
 
@@ -40,16 +44,46 @@ __all__ = ["Artifact", "ArtifactCache", "ArtifactKey", "CacheStats"]
 
 @dataclass(frozen=True, order=True)
 class ArtifactKey:
-    """Identity of one warm artifact: what was sampled, and how."""
+    """Identity of one warm artifact: what was sampled, and how.
+
+    ``layout`` selects the sketch view layout (see
+    :class:`~repro.engine.sketch.SketchIndex`); it defaults so the
+    historical four-field positional construction keeps working.
+    """
 
     graph: str
     model: str
     theta: int
     seed: int
+    layout: str = "arena"
 
     def __post_init__(self) -> None:
         if self.theta <= 0:
             raise ValueError("theta must be positive")
+        if self.layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown sketch layout {self.layout!r}: expected one "
+                "of " + ", ".join(LAYOUTS)
+            )
+
+    @classmethod
+    def from_spec(cls, graph: str, spec: EngineSpec) -> "ArtifactKey":
+        """Key the artifact an :class:`EngineSpec` would build."""
+        return cls(
+            graph, spec.model, spec.theta, spec.seed, spec.layout
+        )
+
+    def spec(self, cache_dir=None, workers=None) -> EngineSpec:
+        """The :class:`EngineSpec` this key pins (engine ``sketch``)."""
+        return EngineSpec(
+            engine="sketch",
+            model=self.model,
+            theta=self.theta,
+            seed=self.seed,
+            workers=workers,
+            layout=self.layout,
+            cache_dir=cache_dir,
+        )
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -57,6 +91,7 @@ class ArtifactKey:
             "model": self.model,
             "theta": self.theta,
             "seed": self.seed,
+            "layout": self.layout,
         }
 
 
@@ -107,18 +142,25 @@ class Artifact:
     ) -> None:
         self.key = key
         self.graph = graph
+        spec = key.spec(cache_dir=cache_dir, workers=build_workers)
         self.pool = SamplePool(
             graph,
             rng=key.seed,
             cache_dir=cache_dir,
-            cache_key=f"service-seed{key.seed}",
+            cache_key=f"service-{spec.cache_key(stream=0)}",
         )
-        self.pooled = build_evaluator(graph, "pooled", pool=self.pool)
+        self.pooled = build_evaluator(
+            graph, spec.with_engine("pooled"), pool=self.pool
+        )
         # build_workers fans the sketch's batched dominator-tree
         # construction (the expensive half of a cold block query)
-        # across processes; answers are bit-identical at any setting
+        # across processes; answers are bit-identical at any setting.
+        # With a cache_dir, the index persists each warm arena view
+        # next to the pool snapshot and rehydrates it memory-mapped on
+        # rebuild — the executor threads then share one read-only
+        # mapping instead of re-deriving theta trees.
         self.sketch = build_evaluator(
-            graph, "sketch", pool=self.pool, workers=build_workers
+            graph, spec.with_engine("sketch"), pool=self.pool
         )
         # final quality in block() is judged on an *independent* sample
         # stream (same discipline as the CLI's stream-0/stream-1 split):
@@ -127,7 +169,7 @@ class Artifact:
         # reported spread optimistically.  The judge pool draws lazily
         # on the first block query — spread-only workloads never pay it.
         self.judge = build_evaluator(
-            graph, "pooled", rng=key.seed, stream=1, cache_dir=cache_dir
+            graph, spec.with_engine("pooled"), stream=1
         )
         self.csr = self.pool.csr
         self.built_at = time.time()

@@ -2,6 +2,20 @@
 
 :class:`ServiceClient` keeps one TCP connection and pipelines requests
 over it; `repro-imin query` is a thin shell around it.  Stdlib only.
+
+The client speaks wire-protocol **v1** (see ``docs/api.md``): server
+failures arrive as a structured error object ``{"code", "message",
+"op"}`` and are raised as *typed* exceptions — :class:`UnknownOpError`,
+:class:`UnknownGraphError`, :class:`BadParamsError`,
+:class:`OverloadedError` — all subclasses of :class:`ServiceError`, so
+``except ServiceError`` keeps catching everything.  Legacy plain-string
+errors (pre-v1 servers) are still accepted for one release and raised
+as bare :class:`ServiceError`.
+
+The query verbs (:meth:`ServiceClient.warm`, :meth:`~ServiceClient.
+spread`, :meth:`~ServiceClient.block`) take keyword-only, typed
+parameters and validate them client-side — malformed calls fail with
+:class:`BadParamsError` before touching the network.
 """
 
 from __future__ import annotations
@@ -9,14 +23,125 @@ from __future__ import annotations
 import json
 import socket
 import time
+from typing import Sequence
 
-__all__ = ["DEFAULT_PORT", "ServiceClient", "ServiceError"]
+__all__ = [
+    "BadParamsError",
+    "DEFAULT_PORT",
+    "OverloadedError",
+    "ServiceClient",
+    "ServiceError",
+    "UnknownGraphError",
+    "UnknownOpError",
+]
 
 DEFAULT_PORT = 7727
 
 
 class ServiceError(RuntimeError):
-    """The server answered ``{"ok": false}`` (or not at all)."""
+    """The server answered ``{"ok": false}`` (or not at all).
+
+    ``code`` is the v1 error code when the server sent one (``None``
+    for transport failures and legacy string errors).
+    """
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class UnknownOpError(ServiceError):
+    """v1 code ``unknown_op``: the server does not know this verb."""
+
+
+class UnknownGraphError(ServiceError):
+    """v1 code ``unknown_graph``: no graph registered under the name."""
+
+
+class BadParamsError(ServiceError):
+    """v1 code ``bad_params``: a parameter failed validation (raised
+    client-side too, before the request is sent)."""
+
+
+class OverloadedError(ServiceError):
+    """v1 code ``overloaded``: the artifact's queue is full — back off
+    and retry."""
+
+
+_CODE_EXCEPTIONS: dict[str, type[ServiceError]] = {
+    "unknown_op": UnknownOpError,
+    "unknown_graph": UnknownGraphError,
+    "bad_params": BadParamsError,
+    "overloaded": OverloadedError,
+}
+
+
+def _raise_for_error(response: dict) -> None:
+    """Map a failure envelope to the matching typed exception.
+
+    v1 servers send ``error`` as ``{"code", "message", "op"}``; pre-v1
+    servers sent a plain string.  Both are accepted (the string form
+    for one release), unknown codes degrade to :class:`ServiceError`.
+    """
+    error = response.get("error")
+    if isinstance(error, dict):
+        code = error.get("code")
+        message = str(error.get("message", "unspecified server error"))
+        raise _CODE_EXCEPTIONS.get(code, ServiceError)(message, code)
+    raise ServiceError(
+        str(error) if error else "unspecified server error"
+    )
+
+
+def _check_int(name: str, value, minimum: int | None = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadParamsError(f"{name} must be an integer", "bad_params")
+    if minimum is not None and value < minimum:
+        raise BadParamsError(
+            f"{name} must be >= {minimum}", "bad_params"
+        )
+    return value
+
+
+def _check_vertices(name: str, value) -> list[int]:
+    if not isinstance(value, (list, tuple)):
+        raise BadParamsError(
+            f"{name} must be a list of vertex ids", "bad_params"
+        )
+    for v in value:
+        if isinstance(v, bool) or not isinstance(v, int) or v < 0:
+            raise BadParamsError(
+                f"{name} must contain non-negative integers",
+                "bad_params",
+            )
+    return list(value)
+
+
+def _check_str(name: str, value) -> str:
+    if not isinstance(value, str) or not value:
+        raise BadParamsError(
+            f"{name} must be a non-empty string", "bad_params"
+        )
+    return value
+
+
+def _key_params(
+    graph, model, theta, seed, layout
+) -> dict[str, object]:
+    """Validate + assemble the artifact-key fields every query verb
+    shares; ``None`` fields are omitted (server defaults apply)."""
+    params: dict[str, object] = {}
+    if graph is not None:
+        params["graph"] = _check_str("graph", graph)
+    if model is not None:
+        params["model"] = _check_str("model", model)
+    if theta is not None:
+        params["theta"] = _check_int("theta", theta, minimum=1)
+    if seed is not None:
+        params["seed"] = _check_int("seed", seed)
+    if layout is not None:
+        params["layout"] = _check_str("layout", layout)
+    return params
 
 
 class ServiceClient:
@@ -90,12 +215,11 @@ class ServiceClient:
         return json.loads(line)
 
     def call(self, op: str, **params):
-        """Send one request; return its ``result`` or raise."""
+        """Send one request; return its ``result`` or raise the typed
+        exception matching the server's error code."""
         response = self.request(op, **params)
         if not response.get("ok"):
-            raise ServiceError(
-                response.get("error", "unspecified server error")
-            )
+            _raise_for_error(response)
         return response.get("result")
 
     # ------------------------------------------------------------------
@@ -114,14 +238,85 @@ class ServiceClient:
         """Prometheus text exposition of the server's registry."""
         return self.call("metrics")
 
-    def warm(self, **params) -> dict:
-        return self.call("warm", **params)
+    def warm(
+        self,
+        *,
+        graph: str | None = None,
+        model: str | None = None,
+        theta: int | None = None,
+        seed: int | None = None,
+        layout: str | None = None,
+        seeds: Sequence[int] | None = None,
+        sketch: bool | None = None,
+        **extra,
+    ) -> dict:
+        """Build (or touch) the artifact; optionally pre-build its
+        sketch view for ``seeds``.  All parameters are keyword-only
+        and validated client-side."""
+        params = _key_params(graph, model, theta, seed, layout)
+        if seeds is not None:
+            params["seeds"] = _check_vertices("seeds", seeds)
+        if sketch is not None:
+            params["sketch"] = bool(sketch)
+        return self.call("warm", **params, **extra)
 
-    def spread(self, **params) -> dict:
-        return self.call("spread", **params)
+    def spread(
+        self,
+        *,
+        graph: str | None = None,
+        model: str | None = None,
+        theta: int | None = None,
+        seed: int | None = None,
+        layout: str | None = None,
+        seeds: Sequence[int] | None = None,
+        blocked: Sequence[int] | None = None,
+        num_seeds: int | None = None,
+        **extra,
+    ) -> dict:
+        """Expected-spread estimate under ``blocked``.  All parameters
+        are keyword-only and validated client-side."""
+        params = _key_params(graph, model, theta, seed, layout)
+        if seeds is not None:
+            params["seeds"] = _check_vertices("seeds", seeds)
+        if blocked is not None:
+            params["blocked"] = _check_vertices("blocked", blocked)
+        if num_seeds is not None:
+            params["num_seeds"] = _check_int(
+                "num_seeds", num_seeds, minimum=1
+            )
+        return self.call("spread", **params, **extra)
 
-    def block(self, **params) -> dict:
-        return self.call("block", **params)
+    def block(
+        self,
+        *,
+        graph: str | None = None,
+        model: str | None = None,
+        theta: int | None = None,
+        seed: int | None = None,
+        layout: str | None = None,
+        seeds: Sequence[int] | None = None,
+        budget: int | None = None,
+        algorithm: str | None = None,
+        rng: int | None = None,
+        num_seeds: int | None = None,
+        **extra,
+    ) -> dict:
+        """Select blockers against the warm sketch index.  All
+        parameters are keyword-only and validated client-side."""
+        params = _key_params(graph, model, theta, seed, layout)
+        if seeds is not None:
+            params["seeds"] = _check_vertices("seeds", seeds)
+        if budget is not None:
+            params["budget"] = _check_int("budget", budget, minimum=1)
+        if algorithm is not None:
+            params["algorithm"] = _check_str("algorithm", algorithm)
+        if rng is not None:
+            params["rng"] = _check_int("rng", rng)
+        if num_seeds is not None:
+            params["num_seeds"] = _check_int(
+                "num_seeds", num_seeds, minimum=1
+            )
+        return self.call("block", **params, **extra)
 
     def shutdown(self) -> None:
         """Ask the server to exit; tolerates the connection dropping."""

@@ -18,9 +18,16 @@ Two layers:
 :class:`ServiceServer`
     A ``socketserver.ThreadingTCPServer`` speaking JSON lines: each
     request is one ``\\n``-terminated JSON object, each response one
-    JSON line ``{"ok": true, "result": ...}`` or ``{"ok": false,
-    "error": ...}``.  A connection may pipeline any number of
-    requests.
+    JSON line.  A connection may pipeline any number of requests.
+
+**Wire protocol v1** (see ``docs/api.md`` for the full schema): every
+response carries ``"v": 1``.  Success is ``{"ok": true, "v": 1, "op":
+..., "result": ...}``; failure is ``{"ok": false, "v": 1, "error":
+{"code": ..., "message": ..., "op": ...}}`` with stable machine-
+readable codes — ``unknown_op``, ``unknown_graph``, ``bad_params``,
+``overloaded``, ``internal`` — so clients dispatch on ``code`` instead
+of parsing prose (:class:`~repro.service.client.ServiceClient` maps
+them to typed exceptions).
 
 Requests (all fields beyond ``op`` optional, with server defaults)::
 
@@ -32,14 +39,17 @@ Requests (all fields beyond ``op`` optional, with server defaults)::
                                        # builds — errors if not warm
     {"op": "metrics"}                  # Prometheus exposition text
     {"op": "warm",   "graph": "toy", "model": "wc", "theta": 200,
-     "seed": 7}
+     "seed": 7, "layout": "arena"}
     {"op": "spread", "graph": "toy", "seeds": [0], "blocked": [4]}
     {"op": "block",  "graph": "toy", "budget": 2,
      "algorithm": "greedy-replace"}
     {"op": "shutdown"}
 
 An ``"id"`` field, when present, is echoed in the response so
-pipelining clients can match answers to questions.
+pipelining clients can match answers to questions.  ``max_pending``
+bounds each artifact executor's queue: submissions beyond it are
+rejected with code ``overloaded`` instead of growing the queue without
+bound (load shedding; ``None`` = unbounded, the default).
 
 **Observability** (see :mod:`repro.obs`): every request runs under a
 trace — the client's ``"trace_id"`` (a string) or a server-assigned
@@ -69,6 +79,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core import ALGORITHMS
+from ..engine.sketch import LAYOUTS
+from ..engine.spec import MODELS
 from ..obs import (
     current_trace,
     EventLog,
@@ -86,13 +98,25 @@ from .registry import default_registry, GraphRegistry
 
 __all__ = [
     "BlockerService",
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
     "RequestError",
     "ServiceServer",
     "ServiceStats",
     "serve",
 ]
 
-MODELS = ("tr", "wc")
+PROTOCOL_VERSION = 1
+"""Wire-protocol version stamped (as ``"v"``) into every response."""
+
+ERROR_CODES = (
+    "unknown_op",
+    "unknown_graph",
+    "bad_params",
+    "overloaded",
+    "internal",
+)
+"""Stable machine-readable error codes of the v1 envelope."""
 
 DEFAULTS = {
     "graph": "toy",
@@ -104,7 +128,15 @@ DEFAULTS = {
 
 
 class RequestError(ValueError):
-    """A malformed or unsatisfiable request (client's fault, 4xx-ish)."""
+    """A malformed or unsatisfiable request (client's fault, 4xx-ish).
+
+    ``code`` is the stable v1 error code the envelope carries —
+    ``bad_params`` unless the raiser says otherwise.
+    """
+
+    def __init__(self, message: str, code: str = "bad_params") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 @dataclass
@@ -191,9 +223,16 @@ class _ArtifactExecutor:
     (unbatched but correct; the artifact's own lock serialises it).
     """
 
-    def __init__(self, artifact: Artifact, stats: ServiceStats) -> None:
+    def __init__(
+        self,
+        artifact: Artifact,
+        stats: ServiceStats,
+        max_pending: int | None = None,
+    ) -> None:
         self._artifact = artifact
         self._stats = stats
+        self._max_pending = max_pending
+        self._pending = 0
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._mutex = threading.Lock()
         self._closed = False
@@ -207,6 +246,21 @@ class _ArtifactExecutor:
     def submit(self, kind: str, params: dict, trace: Trace | None = None):
         with self._mutex:
             if not self._closed:
+                # load shedding: reject before enqueueing, so a stalled
+                # artifact cannot grow an unbounded queue of blocked
+                # handler threads — clients get a typed `overloaded`
+                # error and decide whether to retry
+                if (
+                    self._max_pending is not None
+                    and self._pending >= self._max_pending
+                ):
+                    raise RequestError(
+                        f"artifact {self._artifact.key.graph!r} has "
+                        f"{self._pending} queries pending (limit "
+                        f"{self._max_pending}); retry later",
+                        code="overloaded",
+                    )
+                self._pending += 1
                 future: Future = Future()
                 self._queue.put(
                     (kind, params, future, trace, time.monotonic())
@@ -255,6 +309,8 @@ class _ArtifactExecutor:
 
     def _flush(self, items: list) -> None:
         drained_at = time.monotonic()
+        with self._mutex:
+            self._pending -= len(items)
         spreads: dict[tuple, list] = {}
         for kind, params, future, trace, enqueued_at in items:
             if trace is not None:
@@ -309,6 +365,7 @@ class BlockerService:
         metrics: MetricsRegistry | None = None,
         log: EventLog | None = None,
         slow_ms: float | None = None,
+        max_pending: int | None = None,
     ) -> None:
         self.registry = registry if registry is not None else (
             cache.registry if cache is not None else default_registry()
@@ -320,6 +377,9 @@ class BlockerService:
             cache_dir=cache_dir,
         )
         self.defaults = {**DEFAULTS, **(defaults or {})}
+        self.max_pending = max_pending
+        """Per-artifact executor queue bound: submissions beyond it
+        are rejected with error code ``overloaded`` (None = no bound)."""
         self.stats = ServiceStats()
         self._executors: dict[ArtifactKey, _ArtifactExecutor] = {}
         self._lock = threading.Lock()
@@ -395,23 +455,25 @@ class BlockerService:
                 if handler is None:
                     raise RequestError(
                         f"unknown op {op!r}; expected one of "
-                        + ", ".join(sorted(self._handlers()))
+                        + ", ".join(sorted(self._handlers())),
+                        code="unknown_op",
                     )
                 op_label = op
                 self.stats.count(op)
-                response: dict = {"ok": True, "op": op}
+                response: dict = {
+                    "ok": True, "v": PROTOCOL_VERSION, "op": op,
+                }
                 result = handler(request)
                 if result is not None:
                     response["result"] = result
         except RequestError as error:
             self.stats.count_error()
-            response = {"ok": False, "error": str(error)}
+            response = _error_envelope(error.code, str(error), op_label)
         except Exception as error:  # noqa: BLE001 - report, don't die
             self.stats.count_error()
-            response = {
-                "ok": False,
-                "error": f"{type(error).__name__}: {error}",
-            }
+            response = _error_envelope(
+                "internal", f"{type(error).__name__}: {error}", op_label
+            )
         if isinstance(request, dict) and "id" in request:
             response["id"] = request["id"]
         response["trace_id"] = trace.trace_id
@@ -451,13 +513,15 @@ class BlockerService:
             if isinstance(request, dict)
             else None
         )
+        error = response.get("error")
         self.log.event(
             "request",
             trace_id=trace.trace_id,
             op=op,
             graph=graph if op not in ("ping", "graphs", "metrics") else None,
             ok=bool(response.get("ok")),
-            error=response.get("error"),
+            error=error.get("message") if isinstance(error, dict) else error,
+            error_code=error.get("code") if isinstance(error, dict) else None,
             duration_ms=round(duration_ms, 3),
         )
         if self.slow_ms is not None and duration_ms >= self.slow_ms:
@@ -497,18 +561,25 @@ class BlockerService:
         if graph not in self.registry:
             raise RequestError(
                 f"unknown graph {graph!r}; registered: "
-                + ", ".join(self.registry.names())
+                + ", ".join(self.registry.names()),
+                code="unknown_graph",
             )
         if model not in MODELS:
             raise RequestError(
                 f"unknown model {model!r}; expected one of "
                 + ", ".join(MODELS)
             )
+        layout = request.get("layout", self.defaults.get("layout", "arena"))
+        if layout not in LAYOUTS:
+            raise RequestError(
+                f"unknown layout {layout!r}; expected one of "
+                + ", ".join(LAYOUTS)
+            )
         theta = _as_int(request, "theta", self.defaults["theta"])
         if theta <= 0:
             raise RequestError("theta must be positive")
         seed = _as_int(request, "seed", self.defaults["seed"])
-        return ArtifactKey(graph, model, theta, seed)
+        return ArtifactKey(graph, model, theta, seed, layout)
 
     def _artifact(self, key: ArtifactKey) -> Artifact:
         try:
@@ -525,7 +596,9 @@ class BlockerService:
                 # rebuilt the artifact since — retire the old worker
                 if executor is not None:
                     executor.close()
-                executor = _ArtifactExecutor(artifact, self.stats)
+                executor = _ArtifactExecutor(
+                    artifact, self.stats, max_pending=self.max_pending
+                )
                 self._executors[key] = executor
             return executor
 
@@ -673,6 +746,15 @@ class BlockerService:
         self.cache.close()
 
 
+def _error_envelope(code: str, message: str, op: str | None) -> dict:
+    """The v1 failure envelope: a structured, code-first error object."""
+    return {
+        "ok": False,
+        "v": PROTOCOL_VERSION,
+        "error": {"code": code, "message": message, "op": op},
+    }
+
+
 def _as_int(request: dict, field_name: str, default: int) -> int:
     value = request.get(field_name, default)
     if isinstance(value, bool) or not isinstance(value, int):
@@ -707,7 +789,11 @@ class _Handler(socketserver.StreamRequestHandler):
             try:
                 request = json.loads(line)
             except json.JSONDecodeError as error:
-                self._send({"ok": False, "error": f"bad JSON: {error}"})
+                self._send(
+                    _error_envelope(
+                        "bad_params", f"bad JSON: {error}", None
+                    )
+                )
                 continue
             is_shutdown = (
                 isinstance(request, dict)
@@ -724,6 +810,7 @@ class _Handler(socketserver.StreamRequestHandler):
                 )
                 self._send({
                     "ok": True,
+                    "v": PROTOCOL_VERSION,
                     "op": "shutdown",
                     "result": "bye",
                     "trace_id": trace_id,

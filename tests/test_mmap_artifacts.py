@@ -1,0 +1,285 @@
+"""Persistence tests for the mmap-shared arena sketch artifacts.
+
+The contract under test is the tentpole invariant: a sketch view
+rehydrated from disk is *bit-identical* to the cold-built one — same
+spread, same marginal gains, same blocker selections — including after
+the copy-on-write promotion a rebase triggers, and the on-disk
+artifact itself is never dirtied by mutation.  Identity failures here
+are hard failures (never tolerance-based comparisons).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import assign_weighted_cascade, EngineSpec
+from repro.engine import build_evaluator, SamplePool, SketchIndex
+from repro.graph.generators import barabasi_albert
+
+THETA = 48
+SEEDS = [0, 7]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return assign_weighted_cascade(barabasi_albert(400, 3, rng=2))
+
+
+def spec_for(tmp_path, **overrides) -> EngineSpec:
+    params = dict(
+        engine="sketch", theta=THETA, seed=11, cache_dir=tmp_path
+    )
+    params.update(overrides)
+    return EngineSpec(**params)
+
+
+def build(graph, tmp_path, **overrides) -> SketchIndex:
+    return build_evaluator(graph, spec_for(tmp_path, **overrides))
+
+
+def sketch_files(tmp_path):
+    return sorted(p.name for p in tmp_path.glob("sketch-*"))
+
+
+def greedy_blockers(index, budget: int) -> tuple[list[int], list[float]]:
+    """Plain greedy over decrease_estimates — exercises rebase (and
+    therefore COW promotion on rehydrated views) every round."""
+    blocked: list[int] = []
+    trace: list[float] = []
+    for _ in range(budget):
+        gains = index.decrease_estimates(SEEDS, THETA, blocked)
+        gains = gains.copy()
+        gains[SEEDS] = -1.0
+        if blocked:
+            gains[blocked] = -1.0
+        pick = int(np.argmax(gains))
+        blocked.append(pick)
+        trace.append(index.expected_spread(SEEDS, THETA, blocked))
+    return blocked, trace
+
+
+class TestPersistRoundTrip:
+    def test_cold_build_persists_artifact(self, graph, tmp_path):
+        with build(graph, tmp_path) as index:
+            index.expected_spread(SEEDS, THETA)
+            assert index.stats.persists == 1
+            assert index.stats.rehydrations == 0
+        names = sketch_files(tmp_path)
+        assert sum(n.endswith(".meta.json") for n in names) == 1
+        assert sum(n.endswith(".npy") for n in names) == 11
+
+    def test_rehydrate_skips_build_and_matches_bitwise(
+        self, graph, tmp_path
+    ):
+        with build(graph, tmp_path) as cold:
+            base_spread = cold.expected_spread(SEEDS, THETA)
+            base_gains = cold.decrease_estimates(SEEDS, THETA)
+        with build(graph, tmp_path) as warm:
+            spread = warm.expected_spread(SEEDS, THETA)
+            assert warm.stats.rehydrations == 1
+            assert warm.stats.trees_built == 0
+            assert spread == base_spread
+            assert np.array_equal(
+                warm.decrease_estimates(SEEDS, THETA), base_gains
+            )
+
+    def test_rehydrated_view_survives_rebase(self, graph, tmp_path):
+        """COW promotion: greedy (rebase per round) on a rehydrated
+        view is bit-identical to greedy on a memory-only cold index."""
+        with build(graph, tmp_path) as cold:
+            cold.expected_spread(SEEDS, THETA)  # persist
+        reference = build_evaluator(
+            graph, EngineSpec(engine="sketch", theta=THETA, seed=11)
+        )
+        with reference, build(graph, tmp_path) as warm:
+            ref_picks, ref_trace = greedy_blockers(reference, 4)
+            warm_picks, warm_trace = greedy_blockers(warm, 4)
+            assert warm.stats.rehydrations == 1
+            assert warm_picks == ref_picks
+            assert warm_trace == ref_trace
+            # rebase back to the base state: exact base answer again
+            assert warm.expected_spread(SEEDS, THETA) == (
+                reference.expected_spread(SEEDS, THETA)
+            )
+
+    def test_mutation_never_dirties_the_artifact(self, graph, tmp_path):
+        with build(graph, tmp_path) as cold:
+            base_spread = cold.expected_spread(SEEDS, THETA)
+        with build(graph, tmp_path) as warm:
+            greedy_blockers(warm, 3)  # promote + mutate the view
+        with build(graph, tmp_path) as again:
+            # third process generation: artifact still the pristine base
+            assert again.expected_spread(SEEDS, THETA) == base_spread
+            assert again.stats.rehydrations == 1
+
+    def test_third_load_counts_after_two_generations(
+        self, graph, tmp_path
+    ):
+        with build(graph, tmp_path) as a:
+            a.expected_spread(SEEDS, THETA)
+            persists = a.stats.persists
+        assert persists == 1
+        with build(graph, tmp_path) as b:
+            b.expected_spread(SEEDS, THETA)
+            # rehydrate does not re-save
+            assert b.stats.persists == 0
+
+
+class TestArtifactKeying:
+    def test_distinct_seed_sets_get_distinct_artifacts(
+        self, graph, tmp_path
+    ):
+        with build(graph, tmp_path) as index:
+            index.expected_spread(SEEDS, THETA)
+            index.expected_spread([1], THETA)
+        names = sketch_files(tmp_path)
+        assert sum(n.endswith(".meta.json") for n in names) == 2
+
+    def test_legacy_layout_is_not_persisted(self, graph, tmp_path):
+        with build(graph, tmp_path, layout="legacy") as index:
+            index.expected_spread(SEEDS, THETA)
+            assert index.stats.persists == 0
+        assert sketch_files(tmp_path) == []
+
+    def test_layouts_agree_bitwise(self, graph, tmp_path):
+        with build(graph, tmp_path) as arena:
+            arena.expected_spread(SEEDS, THETA)
+        with build(graph, tmp_path) as warm, build(
+            graph, tmp_path, layout="legacy"
+        ) as legacy:
+            assert np.array_equal(
+                warm.decrease_estimates(SEEDS, THETA),
+                legacy.decrease_estimates(SEEDS, THETA),
+            )
+            assert warm.stats.rehydrations == 1
+
+    def test_memory_only_pool_never_persists(self, graph):
+        spec = EngineSpec(engine="sketch", theta=THETA, seed=11)
+        with build_evaluator(graph, spec) as index:
+            index.expected_spread(SEEDS, THETA)
+            assert index.stats.persists == 0
+            assert index.stats.rehydrations == 0
+
+
+class TestCorruptionFallback:
+    def _persist_one(self, graph, tmp_path):
+        with build(graph, tmp_path) as index:
+            spread = index.expected_spread(SEEDS, THETA)
+        return spread
+
+    def test_truncated_array_falls_back_to_cold_build(
+        self, graph, tmp_path
+    ):
+        spread = self._persist_one(graph, tmp_path)
+        victim = next(tmp_path.glob("sketch-*.order.npy"))
+        victim.write_bytes(b"not numpy")
+        with build(graph, tmp_path) as index:
+            assert index.expected_spread(SEEDS, THETA) == spread
+            assert index.stats.rehydrations == 0
+            assert index.stats.trees_built == THETA
+            # the fallback re-persists a good artifact
+            assert index.stats.persists == 1
+        with build(graph, tmp_path) as again:
+            again.expected_spread(SEEDS, THETA)
+            assert again.stats.rehydrations == 1
+
+    def test_missing_meta_falls_back_to_cold_build(
+        self, graph, tmp_path
+    ):
+        spread = self._persist_one(graph, tmp_path)
+        next(tmp_path.glob("sketch-*.meta.json")).unlink()
+        with build(graph, tmp_path) as index:
+            assert index.expected_spread(SEEDS, THETA) == spread
+            assert index.stats.rehydrations == 0
+
+    def test_format_version_mismatch_falls_back(self, graph, tmp_path):
+        spread = self._persist_one(graph, tmp_path)
+        meta_path = next(tmp_path.glob("sketch-*.meta.json"))
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with build(graph, tmp_path) as index:
+            assert index.expected_spread(SEEDS, THETA) == spread
+            assert index.stats.rehydrations == 0
+
+    def test_shape_mismatch_falls_back(self, graph, tmp_path):
+        spread = self._persist_one(graph, tmp_path)
+        victim = next(tmp_path.glob("sketch-*.delta.npy"))
+        np.save(victim, np.zeros(3))
+        with build(graph, tmp_path) as index:
+            assert index.expected_spread(SEEDS, THETA) == spread
+            assert index.stats.rehydrations == 0
+
+
+class TestShardedBuilds:
+    @pytest.fixture(scope="class")
+    def big_graph(self):
+        # above the parallel-build thresholds (n >= 2048, theta >= 64)
+        return assign_weighted_cascade(barabasi_albert(2200, 2, rng=1))
+
+    def test_sharded_build_matches_serial_bitwise(
+        self, big_graph, tmp_path
+    ):
+        theta = 64
+        serial_spec = EngineSpec(engine="sketch", theta=theta, seed=5)
+        sharded_spec = EngineSpec(
+            engine="sketch",
+            theta=theta,
+            seed=5,
+            workers=2,
+            cache_dir=tmp_path,
+        )
+        with build_evaluator(big_graph, serial_spec) as serial:
+            expected = serial.decrease_estimates([0], theta)
+        with build_evaluator(big_graph, sharded_spec) as sharded:
+            got = sharded.decrease_estimates([0], theta)
+            assert np.array_equal(got, expected)
+
+    def test_sharded_artifact_rehydrates_identically(
+        self, big_graph, tmp_path
+    ):
+        theta = 64
+        spec = EngineSpec(
+            engine="sketch",
+            theta=theta,
+            seed=5,
+            workers=2,
+            cache_dir=tmp_path,
+        )
+        with build_evaluator(big_graph, spec) as cold:
+            expected = cold.decrease_estimates([0], theta)
+            assert cold.stats.persists == 1
+        with build_evaluator(big_graph, spec) as warm:
+            assert np.array_equal(
+                warm.decrease_estimates([0], theta), expected
+            )
+            assert warm.stats.rehydrations == 1
+
+
+class TestWorkerPoolSampleHandoff:
+    def test_builder_receives_pool_paths(self, graph, tmp_path):
+        spec = spec_for(tmp_path)
+        pool = SamplePool(
+            graph,
+            rng=spec.seed,
+            cache_dir=tmp_path,
+            cache_key=spec.cache_key(0),
+        )
+        pool.get(THETA)
+        index = SketchIndex(
+            graph, pool=pool, workers=2, cache_dir=tmp_path
+        )
+        try:
+            assert index.builder.sample_paths is not None
+        finally:
+            index.close()
+
+    def test_memory_pool_has_no_paths(self, graph):
+        index = SketchIndex(graph, rng=3)
+        try:
+            assert index.builder.sample_paths is None
+        finally:
+            index.close()

@@ -302,13 +302,17 @@ class TestBlockerService:
         response = service.handle({"op": "ping"})
         trace_id = response.pop("trace_id")
         assert isinstance(trace_id, str) and trace_id
-        assert response == {"ok": True, "op": "ping", "result": "pong"}
+        assert response == {
+            "ok": True, "v": 1, "op": "ping", "result": "pong",
+        }
 
     def test_unknown_op(self, registry):
         service = BlockerService(registry=registry)
         response = service.handle({"op": "teleport"})
         assert not response["ok"]
-        assert "teleport" in response["error"]
+        assert response["v"] == 1
+        assert response["error"]["code"] == "unknown_op"
+        assert "teleport" in response["error"]["message"]
         assert service.stats.errors == 1
 
     def test_id_echo(self, registry):
@@ -317,24 +321,27 @@ class TestBlockerService:
         assert service.handle({"op": "nope", "id": "x"})["id"] == "x"
 
     @pytest.mark.parametrize(
-        "request_patch, fragment",
+        "request_patch, code, fragment",
         [
-            ({"graph": "nope"}, "unknown graph"),
-            ({"model": "ic"}, "unknown model"),
-            ({"theta": -1}, "theta must be positive"),
-            ({"theta": "many"}, "theta must be an integer"),
-            ({"seeds": [99]}, "out of range"),
-            ({"seeds": []}, "seeds must be non-empty"),
-            ({"num_seeds": 0}, "num_seeds must be >= 1"),
-            ({"blocked": ["v5"]}, "must contain integers"),
+            ({"graph": "nope"}, "unknown_graph", "unknown graph"),
+            ({"model": "ic"}, "bad_params", "unknown model"),
+            ({"layout": "columnar"}, "bad_params", "unknown layout"),
+            ({"theta": -1}, "bad_params", "theta must be positive"),
+            ({"theta": "many"}, "bad_params", "theta must be an integer"),
+            ({"seeds": [99]}, "bad_params", "out of range"),
+            ({"seeds": []}, "bad_params", "seeds must be non-empty"),
+            ({"num_seeds": 0}, "bad_params", "num_seeds must be >= 1"),
+            ({"blocked": ["v5"]}, "bad_params", "must contain integers"),
         ],
     )
-    def test_bad_requests(self, registry, request_patch, fragment):
+    def test_bad_requests(self, registry, request_patch, code, fragment):
         service = BlockerService(registry=registry)
         request = {"op": "spread", "graph": "toy", **request_patch}
         response = service.handle(request)
         assert not response["ok"]
-        assert fragment in response["error"]
+        assert response["error"]["code"] == code
+        assert response["error"]["op"] == "spread"
+        assert fragment in response["error"]["message"]
 
     def test_spread_drops_seed_blockers(self, registry):
         service = BlockerService(registry=registry)
@@ -354,7 +361,8 @@ class TestBlockerService:
             {"op": "block", "graph": "toy", "algorithm": "magic"}
         )
         assert not response["ok"]
-        assert "unknown algorithm" in response["error"]
+        assert response["error"]["code"] == "bad_params"
+        assert "unknown algorithm" in response["error"]["message"]
 
     def test_warm_reports_artifact(self, registry):
         service = BlockerService(registry=registry)
@@ -414,7 +422,7 @@ class TestBlockerService:
             {"op": "stats", "graph": "toy", "theta": 123}
         )
         assert not response["ok"]
-        assert "not warm" in response["error"]
+        assert "not warm" in response["error"]["message"]
         assert len(service.cache) == 0
         service.close()
 
@@ -449,7 +457,9 @@ class TestServer:
             line = sock.makefile("rb").readline()
         response = json.loads(line)
         assert not response["ok"]
-        assert "bad JSON" in response["error"]
+        assert response["v"] == 1
+        assert response["error"]["code"] == "bad_params"
+        assert "bad JSON" in response["error"]["message"]
 
     def test_call_raises_service_error(self, running_server):
         with client_for(running_server) as client:
@@ -679,4 +689,116 @@ def test_artifact_exposes_engine_stats(cache):
     assert set(description["sketch"]) == {
         "queries", "rebases", "trees_built", "samples_skipped",
         "tree_bytes", "arena_bytes", "postings_bytes",
+        "rehydrations", "persists",
     }
+
+
+# ----------------------------------------------------------------------
+# wire protocol v1: stable codes, typed exceptions, overload guard
+# ----------------------------------------------------------------------
+class TestWireProtocolV1:
+    def test_protocol_constants_are_stable(self):
+        from repro.service import ERROR_CODES, PROTOCOL_VERSION
+
+        # golden: changing either is a wire-compatibility break
+        assert PROTOCOL_VERSION == 1
+        assert ERROR_CODES == (
+            "unknown_op",
+            "unknown_graph",
+            "bad_params",
+            "overloaded",
+            "internal",
+        )
+
+    def test_typed_exceptions_over_tcp(self, running_server):
+        from repro.service import (
+            BadParamsError,
+            UnknownGraphError,
+            UnknownOpError,
+        )
+
+        with client_for(running_server) as client:
+            with pytest.raises(UnknownGraphError, match="unknown graph"):
+                client.spread(graph="nope", seeds=[0])
+            with pytest.raises(UnknownOpError, match="teleport"):
+                client.call("teleport")
+            with pytest.raises(BadParamsError, match="unknown model"):
+                client.call("spread", graph="toy", model="ic")
+            error = pytest.raises(
+                UnknownGraphError, client.spread, graph="nope", seeds=[0]
+            ).value
+            assert error.code == "unknown_graph"
+            assert isinstance(error, ServiceError)
+
+    def test_client_validates_before_any_network_io(self):
+        from repro.service import BadParamsError
+
+        # port 1 is never listening: reaching the network would raise
+        # OSError, so a BadParamsError proves client-side validation
+        client = ServiceClient("127.0.0.1", 1, timeout=0.2)
+        with pytest.raises(BadParamsError, match="theta"):
+            client.spread(graph="toy", theta=0, seeds=[0])
+        with pytest.raises(BadParamsError, match="seeds"):
+            client.block(graph="toy", seeds=[0, "x"])
+        with pytest.raises(BadParamsError, match="budget"):
+            client.block(graph="toy", budget=0)
+        with pytest.raises(BadParamsError, match="graph"):
+            client.warm(graph="")
+        assert client._sock is None
+
+    def test_legacy_string_error_raises_bare_service_error(self):
+        from repro.service.client import _raise_for_error
+
+        with pytest.raises(ServiceError, match="boom") as caught:
+            _raise_for_error({"ok": False, "error": "boom"})
+        assert caught.value.code is None
+        assert type(caught.value) is ServiceError
+
+    def test_unknown_code_degrades_to_service_error(self):
+        from repro.service.client import _raise_for_error
+
+        envelope = {
+            "ok": False,
+            "v": 1,
+            "error": {"code": "future_code", "message": "??", "op": None},
+        }
+        with pytest.raises(ServiceError) as caught:
+            _raise_for_error(envelope)
+        assert type(caught.value) is ServiceError
+        assert caught.value.code == "future_code"
+
+    def test_overload_guard_rejects_with_stable_code(self, registry):
+        service = BlockerService(registry=registry, max_pending=0)
+        service.handle(  # warm the artifact without the executor
+            {"op": "warm", "graph": "toy", "theta": 100, "seed": 7}
+        )
+        response = service.handle(
+            {"op": "spread", "graph": "toy", "seeds": [0], "theta": 100}
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] == "overloaded"
+
+    def test_no_overload_guard_by_default(self, registry):
+        service = BlockerService(registry=registry)
+        response = service.handle(
+            {"op": "spread", "graph": "toy", "seeds": [0], "theta": 100}
+        )
+        assert response["ok"]
+
+    def test_overloaded_error_over_tcp(self, registry):
+        from repro.service import OverloadedError
+
+        service = BlockerService(registry=registry, max_pending=0)
+        server = serve(port=0, service=service)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            with client_for(server) as client:
+                with pytest.raises(OverloadedError):
+                    client.spread(graph="toy", seeds=[0], theta=100)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
