@@ -1,0 +1,483 @@
+"""Service saturation: find the knee and meter the profiler's cost.
+
+The latency benchmark (``bench_service_latency.py``) asks how fast a
+warm query is; this one asks how far the service bends before it
+breaks.  A ladder of closed-loop client counts fires spread queries
+at one warm artifact over real TCP; each rung reports its sustained
+throughput and tail latency, and the **knee** is the highest sustained
+qps whose p99 stays under the bar — expressed as a multiple of the
+same-run single-client p50, so the bar moves with machine speed
+instead of encoding it.
+
+Two more things ride along:
+
+* **profiler overhead** — the single-client phase runs twice, without
+  and with the sampling profiler at its default rate; the report
+  asserts the warm-query p50 moved less than the budget (default 5%,
+  the ISSUE 8 acceptance bar).  The profiler then stays on through
+  the whole sweep, so its collapsed-stack dump is a flamegraph of the
+  service *under saturation* — written next to the JSON report (CI
+  uploads it as an artifact).
+* **per-phase span breakdowns** — a traced probe through the real
+  protocol after the sweep, plus each rung's coalescing and
+  executor-counter deltas, so a throughput regression can be blamed
+  on a phase rather than re-measured from scratch.
+
+CI gates ``sustained_speedup_vs_serial`` — knee qps over same-run
+profiled serial qps, a ratio of two same-process measurements that
+cancels machine speed — via ``benchmarks/check_bench_regression.py``.
+
+Run standalone::
+
+    python benchmarks/bench_service_saturation.py --scale 0.4
+    python benchmarks/bench_service_saturation.py \\
+        --json BENCH_service_saturation.json \\
+        --profile-output BENCH_service_saturation.collapsed
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.obs import DEFAULT_HZ, iter_spans, MetricsRegistry
+from repro.service import (
+    ArtifactCache,
+    ArtifactKey,
+    BlockerService,
+    default_registry,
+    serve,
+    ServiceClient,
+)
+
+JSON_SCHEMA = 1
+
+PROFILE_STACK_LIMIT = 40
+"""Hottest stacks embedded in the JSON report (the full dump goes to
+``--profile-output``)."""
+
+
+def _percentiles(latencies: list[float]) -> dict[str, float]:
+    arr = np.asarray(latencies, dtype=np.float64) * 1e3
+    return {
+        "p50_ms": round(float(np.percentile(arr, 50)), 4),
+        "p99_ms": round(float(np.percentile(arr, 99)), 4),
+        "mean_ms": round(float(arr.mean()), 4),
+    }
+
+
+def _blocked_for(query: int, seeds: list[int], n: int) -> list[int]:
+    """A deterministic per-query blocked set avoiding the seeds."""
+    gen = np.random.default_rng(20_000 + query)
+    seed_set = set(seeds)
+    candidates = [v for v in range(n) if v not in seed_set]
+    count = int(gen.integers(0, min(3, len(candidates)) + 1))
+    picks = gen.choice(len(candidates), size=count, replace=False)
+    return sorted(candidates[i] for i in picks)
+
+
+def _executor_counters(service: BlockerService, graph: str) -> dict:
+    """Current executor saturation counters for one graph label."""
+    metrics = service.metrics
+
+    def counter(name: str) -> float:
+        return metrics.counter(name, labels=("graph",)).labels(graph).value
+
+    return {
+        "submitted": counter("repro_executor_submitted_total"),
+        "completed": counter("repro_executor_completed_total"),
+        "pending": metrics.gauge(
+            "repro_executor_pending", labels=("graph",)
+        ).labels(graph).value,
+        "queue_age_seconds": round(
+            metrics.gauge(
+                "repro_executor_queue_age_seconds", labels=("graph",)
+            ).labels(graph).value,
+            6,
+        ),
+    }
+
+
+def _fire(
+    host: str,
+    port: int,
+    key: ArtifactKey,
+    seeds: list[int],
+    n: int,
+    clients: int,
+    queries_per_client: int,
+    offset: int,
+) -> tuple[list[float], float]:
+    """Closed-loop load: every client fires back-to-back queries.
+
+    Returns (per-query latencies, wall seconds across the whole rung).
+    """
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(idx: int) -> None:
+        try:
+            with ServiceClient(host, port) as client:
+                barrier.wait()
+                for q in range(queries_per_client):
+                    blocked = _blocked_for(
+                        offset + idx * queries_per_client + q, seeds, n
+                    )
+                    start = time.perf_counter()
+                    client.spread(
+                        seeds=seeds, blocked=blocked, **key.as_dict()
+                    )
+                    latencies[idx].append(time.perf_counter() - start)
+        except BaseException as error:  # noqa: BLE001 - surface
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise errors[0]
+    return [latency for per in latencies for latency in per], wall
+
+
+def run(params: dict) -> dict[str, object]:
+    key = ArtifactKey(
+        params["dataset"], params["model"], params["theta"],
+        params["seed"],
+    )
+    registry = default_registry(scale=params["scale"])
+    service = BlockerService(
+        registry=registry,
+        cache=ArtifactCache(registry, max_entries=2),
+        metrics=MetricsRegistry(),
+    )
+    server = serve(port=0, service=service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    queries = params["queries_per_client"]
+    try:
+        with ServiceClient(host, port) as warm_client:
+            warm_client.warm(**key.as_dict())
+            artifact = service.cache.get(key)
+            seeds = artifact.default_seeds(params["num_seeds"])
+            n = artifact.csr.n
+            warm_client.spread(seeds=seeds, **key.as_dict())
+
+        # --- profiler overhead: A/B/A so warmup drift cancels ---
+        # off and on batches straddle each other (off, on, off); the
+        # off baseline pools both flanks, so a process that is still
+        # speeding up (or slowing down) biases both sides equally
+        # instead of being billed to the profiler
+        offset = 0
+        off1_lat, off1_wall = _fire(
+            host, port, key, seeds, n, 1, queries, offset
+        )
+        offset += queries
+        with ServiceClient(host, port) as ctl:
+            ctl.profile("start", hz=params["profile_hz"])
+        on_lat, on_wall = _fire(
+            host, port, key, seeds, n, 1, queries, offset
+        )
+        offset += queries
+        with ServiceClient(host, port) as ctl:
+            ctl.profile("stop")
+        off2_lat, off2_wall = _fire(
+            host, port, key, seeds, n, 1, queries, offset
+        )
+        offset += queries
+        off_lat = off1_lat + off2_lat
+        serial_off = _percentiles(off_lat)
+        serial_on = _percentiles(on_lat)
+        serial_off["qps"] = round(
+            len(off_lat) / (off1_wall + off2_wall), 2
+        )
+        serial_on["qps"] = round(len(on_lat) / on_wall, 2)
+        overhead_pct = round(
+            (serial_on["p50_ms"] - serial_off["p50_ms"])
+            / serial_off["p50_ms"]
+            * 100.0,
+            2,
+        )
+
+        # --- re-arm the profiler for the sweep (same tally keeps
+        # accumulating; the dump is the whole run's flamegraph) ---
+        with ServiceClient(host, port) as ctl:
+            ctl.profile("start", hz=params["profile_hz"])
+
+        # --- the sweep, profiler still sampling ---
+        bar_ms = round(
+            serial_on["p50_ms"] * params["p99_bar_multiple"], 4
+        )
+        sweep: list[dict[str, object]] = []
+        before_stats = service.stats.as_dict()
+        for clients in params["client_ladder"]:
+            counters_before = _executor_counters(service, key.graph)
+            lat, wall = _fire(
+                host, port, key, seeds, n, clients, queries, offset
+            )
+            offset += clients * queries
+            counters_after = _executor_counters(service, key.graph)
+            after_stats = service.stats.as_dict()
+            point = _percentiles(lat)
+            point["clients"] = clients
+            point["queries"] = len(lat)
+            point["qps"] = round(len(lat) / wall, 2)
+            point["under_bar"] = point["p99_ms"] <= bar_ms
+            point["coalesced_batches"] = (
+                after_stats["batches"] - before_stats["batches"]
+            )
+            point["executor"] = {
+                "submitted": counters_after["submitted"]
+                - counters_before["submitted"],
+                "completed": counters_after["completed"]
+                - counters_before["completed"],
+                "pending_after": counters_after["pending"],
+                "queue_age_seconds": counters_after[
+                    "queue_age_seconds"
+                ],
+            }
+            before_stats = after_stats
+            sweep.append(point)
+
+        knee = None
+        for point in sweep:
+            if point["under_bar"] and (
+                knee is None or point["qps"] > knee["qps"]
+            ):
+                knee = point
+        sustained_qps = knee["qps"] if knee is not None else 0.0
+        sustained_speedup = (
+            round(sustained_qps / serial_on["qps"], 2)
+            if serial_on["qps"]
+            else 0.0
+        )
+
+        # --- per-phase breakdown: one traced probe, warm path ---
+        with ServiceClient(host, port) as probe:
+            traced = probe.request(
+                "spread", seeds=seeds, blocked=[], trace=True,
+                **key.as_dict(),
+            )
+        phases: dict[str, dict[str, float]] = {}
+        for node in iter_spans(traced.get("trace", {})):
+            entry = phases.setdefault(
+                node["name"], {"count": 0, "total_ms": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_ms"] = round(
+                entry["total_ms"] + node["duration_ms"], 3
+            )
+
+        # --- the profile artifact: the whole run's collapsed stacks ---
+        with ServiceClient(host, port) as ctl:
+            dump = ctl.profile("stop")
+            collapsed_full = service.profiler.collapsed()
+            collapsed_top = service.profiler.collapsed(
+                PROFILE_STACK_LIMIT
+            )
+        return {
+            "schema": JSON_SCHEMA,
+            "params": params,
+            "serial": serial_off,
+            "serial_profiled": serial_on,
+            "profiler_overhead_pct": overhead_pct,
+            "p99_bar_ms": bar_ms,
+            "sweep": sweep,
+            "knee": knee,
+            "sustained_qps": sustained_qps,
+            "sustained_speedup_vs_serial": sustained_speedup,
+            "phases": phases,
+            "profile": {
+                "hz": dump["hz"],
+                "samples": dump["samples"],
+                "overruns": dump["overruns"],
+                "distinct_stacks": dump["distinct_stacks"],
+                "top_stacks": collapsed_top.splitlines(),
+            },
+            "_collapsed_full": collapsed_full,
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def render(report: dict) -> str:
+    serial = report["serial"]
+    lines = [
+        "service saturation — knee of the clients ladder "
+        f"({report['params']['dataset']}, scale="
+        f"{report['params']['scale']:g}, theta="
+        f"{report['params']['theta']}, p99 bar "
+        f"{report['p99_bar_ms']:.2f} ms)",
+        f"  serial     p50 {serial['p50_ms']:8.2f} ms   "
+        f"{serial['qps']:8.2f} q/s  (profiled: p50 "
+        f"{report['serial_profiled']['p50_ms']:.2f} ms, overhead "
+        f"{report['profiler_overhead_pct']:+.1f}%)",
+    ]
+    for point in report["sweep"]:
+        marker = " " if point["under_bar"] else "!"
+        lines.append(
+            f"  {point['clients']:3d} client{'s' if point['clients'] != 1 else ' '}"
+            f" {marker} p50 {point['p50_ms']:8.2f} ms   p99 "
+            f"{point['p99_ms']:8.2f} ms   {point['qps']:8.2f} q/s   "
+            f"batches {point['coalesced_batches']}"
+        )
+    knee = report["knee"]
+    if knee is None:
+        lines.append("  knee: NONE — every rung blew the p99 bar")
+    else:
+        lines.append(
+            f"  knee: {knee['clients']} clients at "
+            f"{report['sustained_qps']:.2f} q/s = "
+            f"{report['sustained_speedup_vs_serial']:.2f}x serial "
+            f"({report['profile']['samples']} profile samples, "
+            f"{report['profile']['distinct_stacks']} stacks)"
+        )
+    return "\n".join(lines)
+
+
+def test_service_saturation(benchmark):
+    """pytest-benchmark entry, scaled down for suite runtime."""
+    params = {
+        "dataset": "email-core",
+        "scale": 0.2,
+        "model": "wc",
+        "theta": 100,
+        "seed": 7,
+        "num_seeds": 3,
+        "queries_per_client": 10,
+        "client_ladder": [1, 2, 4],
+        "p99_bar_multiple": 50.0,
+        "profile_hz": DEFAULT_HZ,
+    }
+    report = benchmark.pedantic(
+        lambda: run(params), rounds=1, iterations=1
+    )
+    print(render(report))
+    assert report["profile"]["samples"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="email-core")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--model", choices=("tr", "wc"), default="wc")
+    parser.add_argument("--theta", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--num-seeds", type=int, default=5)
+    parser.add_argument(
+        "--queries-per-client", type=int, default=40,
+        help="closed-loop queries per client per rung (default: 40)",
+    )
+    parser.add_argument(
+        "--clients", default="1,2,4,8", metavar="LADDER",
+        help="comma-separated client counts to sweep (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--p99-bar-multiple", type=float, default=20.0,
+        help=(
+            "p99 bar as a multiple of the same-run serial p50 "
+            "(default: 20) — a rung over the bar is past the knee"
+        ),
+    )
+    parser.add_argument(
+        "--profile-hz", type=float, default=DEFAULT_HZ,
+        help="sampling-profiler rate for the overhead phase "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-profiler-overhead-pct", type=float, default=5.0,
+        help=(
+            "fail if the profiler moves warm-query p50 by more than "
+            "this (default: 5, the ISSUE 8 acceptance bar)"
+        ),
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="report only, skip the knee/overhead assertions",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="write the machine-readable BENCH_service_saturation.json",
+    )
+    parser.add_argument(
+        "--profile-output", type=str, default=None, metavar="PATH",
+        help=(
+            "write the run's full collapsed-stack profile here "
+            "(flamegraph.pl input; the JSON embeds only the "
+            f"{PROFILE_STACK_LIMIT} hottest stacks)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    try:
+        ladder = sorted(
+            {int(c) for c in args.clients.split(",") if c.strip()}
+        )
+    except ValueError:
+        print(f"error: bad --clients ladder {args.clients!r}")
+        return 2
+    if not ladder or ladder[0] < 1:
+        print("error: --clients needs positive client counts")
+        return 2
+    params = {
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "model": args.model,
+        "theta": args.theta,
+        "seed": args.seed,
+        "num_seeds": args.num_seeds,
+        "queries_per_client": args.queries_per_client,
+        "client_ladder": ladder,
+        "p99_bar_multiple": args.p99_bar_multiple,
+        "profile_hz": args.profile_hz,
+    }
+    report = run(params)
+    collapsed_full = report.pop("_collapsed_full", "")
+    print(render(report))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.profile_output is not None:
+        with open(args.profile_output, "w", encoding="utf-8") as handle:
+            handle.write(collapsed_full)
+            if collapsed_full:
+                handle.write("\n")
+        print(f"wrote {args.profile_output}")
+    if not args.no_check:
+        failures = []
+        if report["knee"] is None:
+            failures.append("no rung stayed under the p99 bar")
+        if (
+            report["profiler_overhead_pct"]
+            > args.max_profiler_overhead_pct
+        ):
+            failures.append(
+                f"profiler overhead {report['profiler_overhead_pct']:+.1f}% "
+                f"> budget {args.max_profiler_overhead_pct:g}%"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,17 @@ Three report kinds, auto-detected:
     bit-compatibility contract); the rebase-microbench and cold-build
     speedups are reported but not gated (they are noisier slices of
     the same work the selection ratio already covers).
+``BENCH_service_saturation.json`` (``bench_service_saturation.py
+--json``)
+    Gates ``sustained_speedup_vs_serial`` — the knee of the clients
+    ladder (max sustained qps whose p99 stays under the bar)
+    normalized by the single-client qps measured in the same run
+    under the same profiler, so machine speed cancels.  Fails hard if
+    the current report found no knee at all (every rung blew its p99
+    bar): the service stopped absorbing concurrency, which is a
+    regression at any ratio.  The profiler-overhead percentage is
+    asserted by the benchmark itself, not gated here (an
+    absolute-noise number, not a cross-machine ratio).
 ``BENCH_mmap_artifacts.json`` (``bench_mmap_artifacts.py --json``)
     Gates ``rehydrate_speedup_vs_cold`` — time-to-first-answer of a
     fresh index memory-mapping the persisted sketch artifact,
@@ -119,6 +130,20 @@ _SKETCH_QUERY_IDENTITY_PARAMS = (
     "repeats",
 )
 
+# and for the saturation report: every knob shapes where the knee sits
+_SATURATION_IDENTITY_PARAMS = (
+    "dataset",
+    "scale",
+    "model",
+    "theta",
+    "seed",
+    "num_seeds",
+    "queries_per_client",
+    "client_ladder",
+    "p99_bar_multiple",
+    "profile_hz",
+)
+
 # and for the mmap-artifact report (cold build vs rehydrate)
 _MMAP_IDENTITY_PARAMS = (
     "n",
@@ -142,6 +167,8 @@ def report_kind(report: dict) -> str | None:
         return "engine"
     if "warm_speedup_vs_cold" in report:
         return "service"
+    if "sustained_speedup_vs_serial" in report:
+        return "service_saturation"
     if "build_speedup_vs_legacy" in report:
         return "sketch_build"
     if "select_speedup_vs_legacy" in report:
@@ -160,9 +187,9 @@ def load_report(path: str | Path) -> dict:
     if report_kind(report) is None:
         _die(
             f"error: {path} is not a BENCH_engine.json, "
-            "BENCH_service.json, BENCH_sketch_build.json, "
-            "BENCH_sketch_query.json or BENCH_mmap_artifacts.json "
-            "report"
+            "BENCH_service.json, BENCH_service_saturation.json, "
+            "BENCH_sketch_build.json, BENCH_sketch_query.json or "
+            "BENCH_mmap_artifacts.json report"
         )
     return report
 
@@ -251,6 +278,48 @@ def compare_service(
         "informational, not gated)",
     ]
     failures = [] if cur_speed >= floor else [metric]
+    return failures, lines
+
+
+def compare_service_saturation(
+    current: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Saturation-report gate vs the baseline.
+
+    Gates ``sustained_speedup_vs_serial``: knee qps over same-run
+    serial qps, both measured in one process under the same profiler,
+    so machine speed cancels.  A current report with no knee fails
+    unconditionally.  The profiler-overhead figure is printed for the
+    log but asserted by the benchmark itself, not gated here.
+    """
+    _check_params(current, baseline, _SATURATION_IDENTITY_PARAMS)
+    failures: list[str] = []
+    lines: list[str] = []
+    if current.get("knee") is None:
+        failures.append("knee")
+        lines.append(
+            "FAIL knee: no rung of the clients ladder stayed under "
+            "its p99 bar"
+        )
+    metric = "sustained_speedup_vs_serial"
+    base_speed = float(baseline[metric])
+    cur_speed = float(current[metric])
+    floor = (1.0 - tolerance) * base_speed
+    verdict = "ok" if cur_speed >= floor else "FAIL"
+    lines.append(
+        f"{verdict:<5}{metric:<30} baseline {base_speed:7.2f}x  "
+        f"current {cur_speed:7.2f}x  floor {floor:7.2f}x"
+    )
+    knee = current.get("knee") or {}
+    lines.append(
+        f"      knee {knee.get('clients', '?')} clients at "
+        f"{current.get('sustained_qps', '?')} q/s, profiler overhead "
+        f"{current.get('profiler_overhead_pct', '?')}% "
+        f"({current.get('profile', {}).get('samples', '?')} samples; "
+        "informational, not gated)"
+    )
+    if cur_speed < floor:
+        failures.append(metric)
     return failures, lines
 
 
@@ -402,6 +471,11 @@ def main(argv: list[str] | None = None) -> int:
             current, baseline, args.tolerance
         )
         metric = "warm speedup vs cold"
+    elif kind == "service_saturation":
+        failures, lines = compare_service_saturation(
+            current, baseline, args.tolerance
+        )
+        metric = "sustained speedup vs serial"
     elif kind == "sketch_build":
         failures, lines = compare_sketch_build(
             current, baseline, args.tolerance

@@ -138,6 +138,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "warm repro.service queries vs cold single-shot CLI",
             "bench_service_latency.py",
         ),
+        Experiment(
+            "service-saturation", "(extension)",
+            "client-ladder saturation knee, shed/coalescing telemetry, "
+            "and sampling-profiler overhead",
+            "bench_service_saturation.py",
+        ),
     )
 }
 

@@ -12,6 +12,9 @@ Subcommands
     Run the long-lived blocker-query service (``repro.service``).
 ``query``
     Send one request to a running service and print the JSON reply.
+``profile``
+    Sample a running service's wall-clock for a few seconds and write
+    the collapsed stacks (flamegraph.pl / speedscope input).
 
 Examples
 --------
@@ -183,6 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--profile-hz", type=float, default=None,
+        help=(
+            "arm the sampling wall-clock profiler from boot at this "
+            "rate (collapsed stacks via the `profile` op / "
+            "`repro-imin profile`; default: off)"
+        ),
+    )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "declare a latency/error SLO (repeatable): p99=250ms, "
+            "p95=1s@2m, error_rate=1%%. Burn rates are exported as "
+            "repro_slo_* gauges and under `query stats`"
+        ),
+    )
+    serve.add_argument(
         "--slow-ms", type=float, default=1000.0,
         help=(
             "slow-query threshold in milliseconds; slower requests are "
@@ -268,6 +290,46 @@ def build_parser() -> argparse.ArgumentParser:
             "(sample-pool counters plus the sketch index's "
             "arena/postings gauges) and attach them to the printed "
             "reply; `query stats --graph NAME` asks for them directly"
+        ),
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help=(
+            "sample a running service's wall-clock and write the "
+            "collapsed stacks (flamegraph.pl / speedscope input)"
+        ),
+    )
+    profile.add_argument("--host", default="127.0.0.1")
+    profile.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port of the service (default: 7727)",
+    )
+    profile.add_argument(
+        "--hz", type=float, default=None,
+        help="sampling rate (default: the server's, 67 Hz)",
+    )
+    profile.add_argument(
+        "--seconds", type=float, default=10.0,
+        help="how long to sample before dumping (default: 10)",
+    )
+    profile.add_argument(
+        "--output", default=None, metavar="FILE",
+        help=(
+            "write the collapsed stacks here (default: stdout); pipe "
+            "into flamegraph.pl for the flamegraph"
+        ),
+    )
+    profile.add_argument(
+        "--limit", type=int, default=None,
+        help="keep only the N hottest stacks",
+    )
+    profile.add_argument(
+        "--keep-running",
+        action="store_true",
+        help=(
+            "leave the server's profiler sampling after the dump "
+            "(default: stop it)"
         ),
     )
     return parser
@@ -371,6 +433,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -538,7 +602,7 @@ def _cmd_spread(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .obs import EventLog, start_metrics_server
+    from .obs import EventLog, parse_slo, start_metrics_server
     from .service import (
         ArtifactCache,
         BlockerService,
@@ -571,13 +635,28 @@ def _cmd_serve(args) -> int:
     if args.max_pending is not None and args.max_pending < 0:
         print("error: --max-pending must be >= 0")
         return 2
-    service = BlockerService(
-        registry=registry,
-        cache=cache,
-        log=log,
-        slow_ms=args.slow_ms,
-        max_pending=args.max_pending,
-    )
+    try:
+        slos = [parse_slo(spec) for spec in args.slo]
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    try:
+        service = BlockerService(
+            registry=registry,
+            cache=cache,
+            log=log,
+            slow_ms=args.slow_ms,
+            max_pending=args.max_pending,
+            profile_hz=args.profile_hz,
+            slos=slos or None,
+        )
+    except ValueError as error:  # bad --profile-hz / duplicate --slo
+        print(f"error: {error}")
+        return 2
+    if args.profile_hz is not None:
+        log.event("profiler_started", hz=args.profile_hz)
+    for slo in slos:
+        log.event("slo_declared", slo=slo.name, spec=slo.spec)
     metrics_server = None
     if args.metrics_port is not None:
         metrics_server = start_metrics_server(
@@ -660,6 +739,59 @@ def _cmd_query(args) -> int:
     if trace_dict is not None:
         print(format_trace(trace_dict))
     return 0 if response.get("ok") else 1
+
+
+def _cmd_profile(args) -> int:
+    """Round-trip the `profile` op: start, sample, dump, (stop).
+
+    The dump is collapsed-stack text — ``repro-imin profile --output
+    prof.collapsed && flamegraph.pl prof.collapsed > prof.svg`` is the
+    whole flamegraph workflow.
+    """
+    from .service import DEFAULT_PORT, ServiceClient, ServiceError
+
+    if args.seconds <= 0:
+        print("error: --seconds must be positive")
+        return 2
+    port = DEFAULT_PORT if args.port is None else args.port
+    client = ServiceClient(args.host, port, timeout=args.seconds + 60.0)
+    started_here = False
+    try:
+        with client:
+            status = None
+            if args.hz is None:
+                try:
+                    status = client.profile("status")
+                except ServiceError:
+                    status = None  # profiler never started on the server
+            if status is None or not status.get("active"):
+                client.profile("start", hz=args.hz)
+                started_here = True
+                print(
+                    f"sampling {args.host}:{port} for "
+                    f"{args.seconds:g}s ...",
+                    file=sys.stderr,
+                )
+                time.sleep(args.seconds)
+            dump = client.profile("dump", limit=args.limit)
+            if started_here and not args.keep_running:
+                client.profile("stop")
+    except (OSError, ServiceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    collapsed = dump.pop("collapsed", "")
+    print(
+        "profile: "
+        + " ".join(f"{k}={dump[k]}" for k in sorted(dump)),
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(collapsed + ("\n" if collapsed else ""))
+        print(f"wrote {args.output}", file=sys.stderr)
+    elif collapsed:
+        print(collapsed)
+    return 0
 
 
 def _cmd_experiment(args) -> int:

@@ -27,8 +27,18 @@ process.  This package is the shared surface, stdlib + numpy only:
     Structured event logging (JSON lines or ``key=value``) behind one
     call-site API — ``repro-imin serve --log-json``.
 :mod:`repro.obs.httpd`
-    A stdlib HTTP listener serving ``GET /metrics`` for scrapers —
+    A stdlib HTTP listener serving ``GET /metrics`` for scrapers and
+    ``GET /healthz`` (build/uptime JSON) for load balancers —
     ``repro-imin serve --metrics-port``.
+:mod:`repro.obs.profile`
+    A sampling wall-clock profiler: a daemon thread walking
+    ``sys._current_frames()`` at a configurable rate into
+    flamegraph-ready collapsed stacks — the service's ``profile`` op,
+    ``repro-imin serve --profile-hz`` and ``repro-imin profile``.
+:mod:`repro.obs.slo`
+    Declarative latency/error SLOs (``p99=250ms``) evaluated from the
+    existing request histograms into burn-rate gauges — ``repro-imin
+    serve --slo`` and the ``slo`` section of the ``stats`` op.
 
 Everything records into :func:`global_registry` by default; the
 service's ``{"op": "metrics"}`` verb and the HTTP listener render the
@@ -50,6 +60,8 @@ from .metrics import (
     track,
     tracked,
 )
+from .profile import DEFAULT_HZ, SamplingProfiler
+from .slo import DEFAULT_WINDOW_SECONDS, parse_slo, SLO, SLOTracker
 from .trace import (
     current_trace,
     format_trace,
@@ -65,12 +77,17 @@ __all__ = [
     "CONTENT_TYPE",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_HZ",
+    "DEFAULT_WINDOW_SECONDS",
     "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsServer",
     "NULL_LOG",
+    "SLO",
+    "SLOTracker",
+    "SamplingProfiler",
     "Span",
     "Trace",
     "current_trace",
@@ -79,6 +96,7 @@ __all__ = [
     "install_standard_collectors",
     "iter_spans",
     "new_trace",
+    "parse_slo",
     "render_text",
     "span",
     "start_metrics_server",

@@ -5,7 +5,9 @@ JSON-lines TCP server so a Prometheus scraper (or ``curl``) can pull
 the registry without speaking the service protocol:
 
 * ``GET /metrics`` — exposition text (0.0.4), the scrape target;
-* ``GET /``, ``GET /healthz`` — a one-line liveness answer;
+* ``GET /``, ``GET /healthz`` — liveness for load balancers: 200 with
+  a small JSON body (status, package version, Python version, uptime
+  since the listener bound);
 * anything else — 404.
 
 The listener is read-only over the registry (rendering never takes a
@@ -16,13 +18,25 @@ hold up request serving or process exit.
 
 from __future__ import annotations
 
+import json
+import platform
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .exposition import CONTENT_TYPE, render_text
 from .metrics import global_registry, MetricsRegistry
 
 __all__ = ["MetricsServer", "start_metrics_server"]
+
+
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro-imin")
+    except Exception:  # noqa: BLE001 - not installed (src checkout)
+        return "unknown"
 
 
 class _MetricsHandler(BaseHTTPRequestHandler):
@@ -34,7 +48,20 @@ class _MetricsHandler(BaseHTTPRequestHandler):
             body = render_text(self.server.registry).encode("utf-8")
             self._reply(200, CONTENT_TYPE, body)
         elif path in ("/", "/healthz"):
-            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+            health = {
+                "status": "ok",
+                "version": self.server.build_version,
+                "python": platform.python_version(),
+                "uptime_seconds": round(
+                    time.monotonic() - self.server.started_at, 3
+                ),
+            }
+            self._reply(
+                200,
+                "application/json; charset=utf-8",
+                json.dumps(health, separators=(",", ":")).encode()
+                + b"\n",
+            )
         else:
             self._reply(
                 404, "text/plain; charset=utf-8", b"not found\n"
@@ -65,6 +92,8 @@ class MetricsServer(ThreadingHTTPServer):
     ) -> None:
         super().__init__(address, _MetricsHandler)
         self.registry = registry
+        self.started_at = time.monotonic()
+        self.build_version = _package_version()
 
     @property
     def port(self) -> int:

@@ -238,6 +238,35 @@ class ServiceClient:
         """Prometheus text exposition of the server's registry."""
         return self.call("metrics")
 
+    def profile(
+        self,
+        action: str = "status",
+        *,
+        hz: float | None = None,
+        limit: int | None = None,
+        **extra,
+    ) -> dict:
+        """Drive the server's sampling profiler.
+
+        ``action`` is ``start`` (optionally with ``hz``), ``stop``,
+        ``status``, or ``dump`` — which returns the sampler stats plus
+        the flamegraph-ready collapsed-stack text (``limit`` keeps only
+        the hottest stacks).
+        """
+        if action not in ("start", "stop", "dump", "status"):
+            raise BadParamsError(
+                "action must be one of start, stop, dump, status",
+                "bad_params",
+            )
+        params: dict[str, object] = {"action": action}
+        if hz is not None:
+            if isinstance(hz, bool) or not isinstance(hz, (int, float)):
+                raise BadParamsError("hz must be a number", "bad_params")
+            params["hz"] = hz
+        if limit is not None:
+            params["limit"] = _check_int("limit", limit, minimum=1)
+        return self.call("profile", **params, **extra)
+
     def warm(
         self,
         *,

@@ -38,6 +38,9 @@ Requests (all fields beyond ``op`` optional, with server defaults)::
                                        # (pool + sketch gauges); never
                                        # builds — errors if not warm
     {"op": "metrics"}                  # Prometheus exposition text
+    {"op": "profile", "action": "start", "hz": 67}   # also stop/
+                                       # dump/status — the sampling
+                                       # wall-clock profiler
     {"op": "warm",   "graph": "toy", "model": "wc", "theta": 200,
      "seed": 7, "layout": "arena"}
     {"op": "spread", "graph": "toy", "seeds": [0], "blocked": [4]}
@@ -64,6 +67,28 @@ configured ``slow_ms`` threshold are recorded in a bounded slow-query
 log (surfaced under the service-wide ``stats`` op) with their phase
 summary, and an :class:`~repro.obs.EventLog` — JSON lines under
 ``repro-imin serve --log-json`` — gets one event per request.
+
+**Saturation telemetry**: the layer between "a request finished" and
+"the server is drowning".  Every artifact executor exports its queue
+depth (``repro_executor_pending{graph=}``, incremented/decremented
+under the same mutex that guards the queue, so the gauge is exact),
+the queue wait of the oldest item at the most recent drain
+(``repro_executor_queue_age_seconds{graph=}``), and
+submitted/completed counters whose difference *is* the pending gauge
+— the reconciliation invariant the tests pin.  Requests shed by the
+``--max-pending`` admission guard are counted by reason in
+``repro_shed_requests_total{graph=,reason=}``; queries served
+directly because their executor was retired mid-flight land in
+``repro_executor_direct_serves_total{graph=}``.  The accept loop
+exports ``repro_inflight_requests``, the number of requests currently
+inside :meth:`BlockerService.handle`.
+
+**Profiling and SLOs**: the ``profile`` op starts/stops/dumps the
+:class:`~repro.obs.SamplingProfiler` (collapsed stacks of every
+thread, flamegraph-ready; ``serve --profile-hz`` arms it from boot),
+and ``serve --slo p99=250ms`` evaluates declarative objectives into
+``repro_slo_burn_rate{slo=}`` gauges plus a ``slo`` section under the
+``stats`` op (see :mod:`repro.obs.slo`).
 """
 
 from __future__ import annotations
@@ -76,19 +101,23 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..core import ALGORITHMS
 from ..engine.sketch import LAYOUTS
 from ..engine.spec import MODELS
 from ..obs import (
     current_trace,
+    DEFAULT_HZ,
     EventLog,
     global_registry,
     install_standard_collectors,
     MetricsRegistry,
     new_trace,
     NULL_LOG,
+    SamplingProfiler,
+    SLO,
+    SLOTracker,
     span,
     Trace,
     use_trace,
@@ -196,6 +225,67 @@ class ServiceStats:
 _STOP = object()
 
 
+class _ExecutorTelemetry:
+    """Pre-bound metric children for one executor's graph label.
+
+    The executor mutates these on its hot paths (submit, drain), so
+    the label lookup happens once per executor, not once per query.
+    ``pending`` is updated under the executor's own mutex — the gauge
+    mirrors ``_pending`` exactly, which is what lets the
+    reconciliation test assert ``submitted - completed == pending``
+    at any quiescent point.
+    """
+
+    __slots__ = (
+        "pending",
+        "queue_age",
+        "submitted",
+        "completed",
+        "direct_serves",
+        "shed_overloaded",
+    )
+
+    def __init__(self, metrics: MetricsRegistry, graph: str) -> None:
+        self.pending = metrics.gauge(
+            "repro_executor_pending",
+            "Queries queued on the artifact executor, not yet drained",
+            labels=("graph",),
+        ).labels(graph)
+        self.queue_age = metrics.gauge(
+            "repro_executor_queue_age_seconds",
+            "Queue wait of the oldest item at the executor's most "
+            "recent drain",
+            labels=("graph",),
+        ).labels(graph)
+        self.submitted = metrics.counter(
+            "repro_executor_submitted_total",
+            "Queries accepted onto the artifact executor queue",
+            labels=("graph",),
+        ).labels(graph)
+        self.completed = metrics.counter(
+            "repro_executor_completed_total",
+            "Queued queries answered (result or error) by the executor",
+            labels=("graph",),
+        ).labels(graph)
+        self.direct_serves = metrics.counter(
+            "repro_executor_direct_serves_total",
+            "Queries served inline because their executor was retired "
+            "between lookup and submit",
+            labels=("graph",),
+        ).labels(graph)
+        self.shed_overloaded = metrics.counter(
+            "repro_shed_requests_total",
+            "Queries rejected by admission control, by reason",
+            labels=("graph", "reason"),
+        ).labels(graph, "max_pending")
+
+    @classmethod
+    def null(cls) -> "_ExecutorTelemetry":
+        """A sink for executors built outside a BlockerService (the
+        children land in a throwaway registry)."""
+        return cls(MetricsRegistry(), "none")
+
+
 class _ArtifactExecutor:
     """One worker thread per artifact: serialisation + coalescing.
 
@@ -228,11 +318,16 @@ class _ArtifactExecutor:
         artifact: Artifact,
         stats: ServiceStats,
         max_pending: int | None = None,
+        telemetry: _ExecutorTelemetry | None = None,
     ) -> None:
         self._artifact = artifact
         self._stats = stats
         self._max_pending = max_pending
         self._pending = 0
+        self._telemetry = (
+            telemetry if telemetry is not None
+            else _ExecutorTelemetry.null()
+        )
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._mutex = threading.Lock()
         self._closed = False
@@ -254,21 +349,33 @@ class _ArtifactExecutor:
                     self._max_pending is not None
                     and self._pending >= self._max_pending
                 ):
+                    self._telemetry.shed_overloaded.inc()
                     raise RequestError(
                         f"artifact {self._artifact.key.graph!r} has "
                         f"{self._pending} queries pending (limit "
                         f"{self._max_pending}); retry later",
                         code="overloaded",
                     )
-                self._pending += 1
                 future: Future = Future()
-                self._queue.put(
-                    (kind, params, future, trace, time.monotonic())
-                )
+                # the increment and the put must stand or fall
+                # together: a put that fails (MemoryError under real
+                # pressure) leaking a pending slot would ratchet the
+                # admission guard shut
+                self._pending += 1
+                try:
+                    self._queue.put(
+                        (kind, params, future, trace, time.monotonic())
+                    )
+                except BaseException:
+                    self._pending -= 1
+                    raise
+                self._telemetry.pending.inc()
+                self._telemetry.submitted.inc()
                 enqueued = True
             else:
                 enqueued = False
         if not enqueued:  # retired executor: serve directly
+            self._telemetry.direct_serves.inc()
             return self._execute_one(kind, params)
         return future.result()
 
@@ -288,6 +395,7 @@ class _ArtifactExecutor:
             self._closed = True
             self._queue.put(_STOP)
         self._thread.join(timeout=5)
+        self._telemetry.queue_age.set(0.0)
 
     # ------------------------------------------------------------------
     def _run(self) -> None:
@@ -302,15 +410,37 @@ class _ArtifactExecutor:
                 except queue.Empty:
                     break
                 if extra is _STOP:
-                    self._flush(items)
+                    self._safe_flush(items)
                     return
                 items.append(extra)
+            self._safe_flush(items)
+
+    def _safe_flush(self, items: list) -> None:
+        """Flush, and on an unexpected worker-loop error fail every
+        still-unresolved future instead of dying with them hanging —
+        the pending accounting already happened at the top of _flush,
+        so even this path leaves the gauge exact."""
+        try:
             self._flush(items)
+        except BaseException as error:  # noqa: BLE001 - keep worker up
+            for _, _, future, _, _ in items:
+                if not future.done():
+                    future.set_exception(error)
+                    # futures resolved before the crash were already
+                    # counted inside _flush; count only the ones this
+                    # path answers, keeping submitted-completed exact
+                    self._telemetry.completed.inc()
 
     def _flush(self, items: list) -> None:
         drained_at = time.monotonic()
+        oldest_wait = max(
+            drained_at - enqueued_at for *_, enqueued_at in items
+        )
         with self._mutex:
             self._pending -= len(items)
+            self._telemetry.pending.dec(len(items))
+        self._telemetry.queue_age.set(oldest_wait)
+        completed = self._telemetry.completed
         spreads: dict[tuple, list] = {}
         for kind, params, future, trace, enqueued_at in items:
             if trace is not None:
@@ -330,6 +460,7 @@ class _ArtifactExecutor:
                     future.set_result(result)
                 except Exception as error:  # noqa: BLE001 - to caller
                     future.set_exception(error)
+                completed.inc()
         for (seeds, theta), group in spreads.items():
             if len(group) > 1:
                 self._stats.count_batch(len(group))
@@ -346,9 +477,11 @@ class _ArtifactExecutor:
             except Exception as error:  # noqa: BLE001 - to callers
                 for _, future, _ in group:
                     future.set_exception(error)
+                    completed.inc()
                 continue
             for (_, future, _), estimate in zip(group, estimates):
                 future.set_result(estimate)
+                completed.inc()
 
 
 class BlockerService:
@@ -366,6 +499,8 @@ class BlockerService:
         log: EventLog | None = None,
         slow_ms: float | None = None,
         max_pending: int | None = None,
+        profile_hz: float | None = None,
+        slos: Sequence[SLO] | None = None,
     ) -> None:
         self.registry = registry if registry is not None else (
             cache.registry if cache is not None else default_registry()
@@ -424,7 +559,29 @@ class BlockerService:
             "repro_coalesced_queries_total",
             "Spread queries answered as part of a multi-query batch",
         )
+        self._m_inflight = self.metrics.gauge(
+            "repro_inflight_requests",
+            "Requests currently inside BlockerService.handle",
+        )
         self.stats.on_batch = self._count_batch_metrics
+        # per-graph telemetry children are cached here so a rebuilt
+        # executor (cache eviction + re-warm) keeps accumulating into
+        # the same counters rather than resetting the series
+        self._telemetry: dict[str, _ExecutorTelemetry] = {}
+        self.profiler: SamplingProfiler | None = None
+        """The service-owned sampling profiler; created lazily by the
+        ``profile`` op, or at construction when ``profile_hz`` is set
+        (``serve --profile-hz``)."""
+        if profile_hz is not None:
+            self.profiler = SamplingProfiler(
+                hz=profile_hz, registry=self.metrics
+            )
+            self.profiler.start()
+        self.slo: SLOTracker | None = (
+            SLOTracker(slos, registry=self.metrics) if slos else None
+        )
+        """Burn-rate tracker for the configured SLOs (``serve --slo``);
+        None when no objectives were declared."""
 
     def _count_batch_metrics(self, size: int) -> None:
         self._m_batches.inc()
@@ -446,6 +603,7 @@ class BlockerService:
         op_label = "invalid"
         started = time.monotonic()
         trace = new_trace(self._client_trace_id(request))
+        self._m_inflight.inc()
         try:
             with use_trace(trace):
                 if not isinstance(request, dict):
@@ -474,6 +632,8 @@ class BlockerService:
             response = _error_envelope(
                 "internal", f"{type(error).__name__}: {error}", op_label
             )
+        finally:
+            self._m_inflight.dec()
         if isinstance(request, dict) and "id" in request:
             response["id"] = request["id"]
         response["trace_id"] = trace.trace_id
@@ -544,6 +704,7 @@ class BlockerService:
             "graphs": self._op_graphs,
             "stats": self._op_stats,
             "metrics": self._op_metrics,
+            "profile": self._op_profile,
             "warm": self._op_warm,
             "spread": self._op_spread,
             "block": self._op_block,
@@ -596,8 +757,15 @@ class BlockerService:
                 # rebuilt the artifact since — retire the old worker
                 if executor is not None:
                     executor.close()
+                telemetry = self._telemetry.get(key.graph)
+                if telemetry is None:
+                    telemetry = _ExecutorTelemetry(self.metrics, key.graph)
+                    self._telemetry[key.graph] = telemetry
                 executor = _ArtifactExecutor(
-                    artifact, self.stats, max_pending=self.max_pending
+                    artifact,
+                    self.stats,
+                    max_pending=self.max_pending,
+                    telemetry=telemetry,
                 )
                 self._executors[key] = executor
             return executor
@@ -656,11 +824,68 @@ class BlockerService:
             return artifact.describe()
         with self._slow_lock:
             slow = list(self.slow_queries)
-        return {
+        result: dict[str, object] = {
             "service": self.stats.as_dict(),
             "cache": self.cache.describe(),
             "slow_queries": slow,
         }
+        if self.slo is not None:
+            result["slo"] = self.slo.as_dict()
+        if self.profiler is not None:
+            result["profiler"] = self.profiler.stats()
+        return result
+
+    def _op_profile(self, request: dict) -> dict:
+        """Drive the sampling profiler on the live server.
+
+        Actions: ``start`` (optional ``hz``; errors if already
+        running, recreates the profiler when ``hz`` differs from the
+        current one), ``stop``, ``status``, and ``dump`` — stats plus
+        the collapsed-stack text (optionally truncated to the ``limit``
+        hottest stacks), ready for ``flamegraph.pl``.
+        """
+        action = request.get("action", "status")
+        if action not in ("start", "stop", "dump", "status"):
+            raise RequestError(
+                f"unknown profile action {action!r}; expected one of "
+                "start, stop, dump, status"
+            )
+        if action == "start":
+            hz = request.get("hz", DEFAULT_HZ)
+            if isinstance(hz, bool) or not isinstance(hz, (int, float)):
+                raise RequestError("hz must be a number")
+            if self.profiler is not None and self.profiler.active:
+                raise RequestError(
+                    f"profiler already running at {self.profiler.hz:g} "
+                    "Hz; stop it first"
+                )
+            if self.profiler is None or self.profiler.hz != float(hz):
+                try:
+                    self.profiler = SamplingProfiler(
+                        hz=float(hz), registry=self.metrics
+                    )
+                except ValueError as error:
+                    raise RequestError(str(error)) from error
+            self.profiler.start()
+            return self.profiler.stats()
+        if self.profiler is None:
+            raise RequestError(
+                "profiler was never started (op=profile action=start, "
+                "or serve --profile-hz)"
+            )
+        if action == "stop":
+            return self.profiler.stop()
+        if action == "dump":
+            limit = request.get("limit")
+            if limit is not None:
+                limit = _as_int(request, "limit", 0)
+                if limit < 1:
+                    raise RequestError("limit must be >= 1")
+            return {
+                **self.profiler.stats(),
+                "collapsed": self.profiler.collapsed(limit),
+            }
+        return self.profiler.stats()
 
     def _op_metrics(self, request: dict) -> str:
         """Prometheus text exposition of the service's registry — the
@@ -738,6 +963,8 @@ class BlockerService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
+        if self.profiler is not None:
+            self.profiler.stop()
         with self._lock:
             executors = list(self._executors.values())
             self._executors.clear()

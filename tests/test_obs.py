@@ -473,6 +473,73 @@ class TestServiceObservability:
         finally:
             service.close()
 
+    def test_slow_ring_under_concurrent_writers(self, service):
+        """The slow-query ring under many handler threads: bounded at
+        its maxlen, no torn entries (every record fully formed), and
+        eviction is oldest-first — exactly the newest ``maxlen``
+        requests survive."""
+        writers, per_writer = 8, 20  # 160 > the ring's 64 slots
+        total = writers * per_writer
+        barrier = threading.Barrier(writers)
+        errors: list[BaseException] = []
+
+        def worker(idx: int) -> None:
+            try:
+                barrier.wait()
+                for q in range(per_writer):
+                    service.handle({
+                        "op": "ping",
+                        "trace_id": f"slow-{idx * per_writer + q:04d}",
+                    })
+            except BaseException as error:  # noqa: BLE001 - surface
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        with service._slow_lock:
+            ring = list(service.slow_queries)
+        maxlen = service.slow_queries.maxlen
+        assert maxlen == 64
+        assert len(ring) == maxlen  # bounded despite 160 writes
+        required = {
+            "trace_id", "op", "graph", "duration_ms", "ok", "phases",
+        }
+        for record in ring:  # no torn entries
+            assert required <= record.keys(), record
+            assert record["op"] == "ping"
+            assert record["ok"] is True
+        # per-writer order is preserved through the ring (each writer
+        # appends its requests in issue order; the lock serialises
+        # appends, so a writer's own sequence can never invert), and
+        # the globally newest record is necessarily some writer's
+        # final request — nothing was appended after it
+        by_writer: dict[int, list[int]] = {}
+        for record in ring:
+            number = int(record["trace_id"].rsplit("-", 1)[1])
+            by_writer.setdefault(number // per_writer, []).append(number)
+        for sequence in by_writer.values():
+            assert sequence == sorted(sequence)
+        newest = int(ring[-1]["trace_id"].rsplit("-", 1)[1])
+        assert newest % per_writer == per_writer - 1
+        assert (
+            service.metrics.counter("repro_slow_queries_total").value
+            == total
+        )
+        # eviction is oldest-first: after exactly maxlen sequential
+        # requests, the ring holds those and only those, in order
+        for q in range(maxlen):
+            service.handle({"op": "ping", "trace_id": f"tail-{q:03d}"})
+        with service._slow_lock:
+            tail = [r["trace_id"] for r in service.slow_queries]
+        assert tail == [f"tail-{q:03d}" for q in range(maxlen)]
+
     def test_request_events_logged(self, graphs):
         sink = io.StringIO()
         service = BlockerService(
@@ -504,7 +571,15 @@ class TestMetricsHTTP:
                 body = response.read().decode()
             assert "repro_probe_total 1" in body
             with urllib.request.urlopen(f"{base}/healthz") as response:
-                assert response.read() == b"ok\n"
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "application/json"
+                )
+                health = json.loads(response.read())
+            assert health["status"] == "ok"
+            assert health["uptime_seconds"] >= 0.0
+            assert isinstance(health["version"], str)
+            assert health["python"].count(".") == 2
             with pytest.raises(urllib.error.HTTPError) as err:
                 urllib.request.urlopen(f"{base}/nope")
             assert err.value.code == 404

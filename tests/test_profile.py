@@ -1,0 +1,166 @@
+"""Tests for the sampling wall-clock profiler (``repro.obs.profile``).
+
+The profiler's contract: a daemon thread walking every *other*
+thread's stack at ``hz``, aggregating collapsed-stack counts in
+flamegraph.pl's exact format, restartable, self-metering, and cheap
+(its cost budget is asserted end-to-end by
+``bench_service_saturation.py``; here we pin the semantics).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs import DEFAULT_HZ, MetricsRegistry, SamplingProfiler
+from repro.obs.profile import _frame_label
+
+
+def _spin_thread(stop: threading.Event) -> threading.Thread:
+    def loop() -> None:
+        while not stop.wait(0.001):
+            sum(range(50))
+
+    thread = threading.Thread(
+        target=loop, name="busy-loop", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+class TestLifecycle:
+    def test_hz_validation(self):
+        for bad in (0, -1, 1001, float("inf")):
+            with pytest.raises(ValueError, match="hz"):
+                SamplingProfiler(hz=bad, registry=MetricsRegistry())
+
+    def test_default_hz_is_primeish(self):
+        # never phase-locked with millisecond-periodic work
+        assert DEFAULT_HZ == 67.0
+
+    def test_start_stop_collects_samples(self):
+        profiler = SamplingProfiler(hz=500, registry=MetricsRegistry())
+        stop = threading.Event()
+        thread = _spin_thread(stop)
+        try:
+            profiler.start()
+            assert profiler.active
+            time.sleep(0.15)
+            stats = profiler.stop()
+        finally:
+            stop.set()
+            thread.join(timeout=2)
+        assert not profiler.active
+        assert stats["samples"] > 0
+        assert stats["ticks"] > 0
+        assert stats["distinct_stacks"] > 0
+        assert stats["duration_seconds"] > 0
+        assert stats["hz"] == 500.0
+
+    def test_start_is_idempotent_and_restartable(self):
+        profiler = SamplingProfiler(hz=500, registry=MetricsRegistry())
+        with profiler:
+            profiler.start()  # no-op while running
+            time.sleep(0.05)
+        first = profiler.stats()["ticks"]
+        assert first > 0
+        with profiler:  # restart accumulates
+            time.sleep(0.05)
+        assert profiler.stats()["ticks"] > first
+
+    def test_reset_drops_aggregate(self):
+        profiler = SamplingProfiler(hz=500, registry=MetricsRegistry())
+        with profiler:
+            time.sleep(0.05)
+        assert profiler.stats()["samples"] > 0
+        profiler.reset()
+        stats = profiler.stats()
+        assert stats["samples"] == 0
+        assert stats["ticks"] == 0
+        assert stats["distinct_stacks"] == 0
+        assert stats["duration_seconds"] == 0.0
+
+    def test_stop_without_start(self):
+        profiler = SamplingProfiler(registry=MetricsRegistry())
+        stats = profiler.stop()  # tolerated, returns zeroed stats
+        assert stats["samples"] == 0
+        assert not stats["active"]
+
+
+class TestCollapsedOutput:
+    def test_collapsed_format(self):
+        profiler = SamplingProfiler(hz=500, registry=MetricsRegistry())
+        stop = threading.Event()
+        thread = _spin_thread(stop)
+        try:
+            with profiler:
+                time.sleep(0.15)
+        finally:
+            stop.set()
+            thread.join(timeout=2)
+        text = profiler.collapsed()
+        assert text
+        for line in text.splitlines():
+            # frame;frame;...;frame <count> — flamegraph.pl input
+            assert re.fullmatch(r"\S+(;\S+)* \d+", line), line
+        # the root element of each stack is the thread name
+        roots = {line.split(";")[0] for line in text.splitlines()}
+        assert "busy-loop" in roots
+
+    def test_collapsed_is_hottest_first_and_limited(self):
+        profiler = SamplingProfiler(hz=500, registry=MetricsRegistry())
+        stop = threading.Event()
+        thread = _spin_thread(stop)
+        try:
+            with profiler:
+                time.sleep(0.15)
+        finally:
+            stop.set()
+            thread.join(timeout=2)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in profiler.collapsed().splitlines()
+        ]
+        assert counts == sorted(counts, reverse=True)
+        limited = profiler.collapsed(limit=1)
+        assert len(limited.splitlines()) == 1
+
+    def test_sampler_never_profiles_itself(self):
+        profiler = SamplingProfiler(hz=500, registry=MetricsRegistry())
+        with profiler:
+            time.sleep(0.1)
+        roots = {
+            line.split(";")[0]
+            for line in profiler.collapsed().splitlines()
+        }
+        assert "repro-profiler" not in roots
+
+    def test_frame_label_is_module_qualname(self):
+        import sys
+
+        frame = sys._getframe()
+        label = _frame_label(frame)
+        assert label.startswith("tests.test_profile")
+        assert "test_frame_label_is_module_qualname" in label
+
+
+class TestMetrics:
+    def test_profiler_meters_itself(self):
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(hz=500, registry=registry)
+        with profiler:
+            time.sleep(0.1)
+            assert (
+                registry.gauge("repro_profile_active").value == 1.0
+            )
+        assert registry.gauge("repro_profile_active").value == 0.0
+        assert (
+            registry.counter("repro_profile_samples_total").value
+            == profiler.stats()["samples"]
+        )
+        text = registry.render()
+        assert "repro_profile_samples_total" in text
+        assert "repro_profile_overruns_total" in text

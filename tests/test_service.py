@@ -802,3 +802,430 @@ class TestWireProtocolV1:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5)
+
+
+class TestSaturationTelemetry:
+    """The executor's pending/shed/age accounting (ISSUE 8 part b).
+
+    The invariant the gauges promise: ``pending`` is updated under the
+    executor's own mutex, so at any quiescent point
+    ``submitted - completed == pending == 0`` — torn accounting under
+    concurrency would leave a residue here.
+    """
+
+    @staticmethod
+    def _counters(service: BlockerService, graph: str) -> dict:
+        metrics = service.metrics
+        return {
+            "pending": metrics.gauge(
+                "repro_executor_pending", labels=("graph",)
+            ).labels(graph).value,
+            "submitted": metrics.counter(
+                "repro_executor_submitted_total", labels=("graph",)
+            ).labels(graph).value,
+            "completed": metrics.counter(
+                "repro_executor_completed_total", labels=("graph",)
+            ).labels(graph).value,
+            "queue_age": metrics.gauge(
+                "repro_executor_queue_age_seconds", labels=("graph",)
+            ).labels(graph).value,
+            "shed": metrics.counter(
+                "repro_shed_requests_total", labels=("graph", "reason")
+            ).labels(graph, "max_pending").value,
+            "direct": metrics.counter(
+                "repro_executor_direct_serves_total", labels=("graph",)
+            ).labels(graph).value,
+        }
+
+    def test_reconciliation_under_concurrency(self, registry):
+        from repro.obs import MetricsRegistry
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry()
+        )
+        errors: list[BaseException] = []
+
+        def worker(idx: int) -> None:
+            try:
+                for q in range(5):
+                    service.handle({
+                        "op": "spread", "graph": "toy", "theta": 100,
+                        "seeds": [0], "blocked": [4] if q % 2 else [],
+                    })
+            except BaseException as error:  # noqa: BLE001 - surface
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(6)
+        ]
+        try:
+            for t in threads:
+                t.start()
+        finally:
+            for t in threads:
+                t.join(timeout=30)
+        assert not errors
+        counters = self._counters(service, "toy")
+        service.close()
+        assert counters["submitted"] == 30
+        assert counters["completed"] == 30
+        assert counters["pending"] == 0
+        assert (
+            counters["submitted"] - counters["completed"]
+            == counters["pending"]
+        )
+        assert counters["queue_age"] >= 0.0
+        assert counters["shed"] == 0
+
+    def test_shed_counter_labels_reason(self, registry):
+        from repro.obs import MetricsRegistry
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry(), max_pending=0
+        )
+        try:
+            service.handle(
+                {"op": "warm", "graph": "toy", "theta": 100, "seed": 7}
+            )
+            for _ in range(3):
+                response = service.handle({
+                    "op": "spread", "graph": "toy", "theta": 100,
+                    "seeds": [0],
+                })
+                assert response["error"]["code"] == "overloaded"
+            counters = self._counters(service, "toy")
+            assert counters["shed"] == 3
+            assert counters["submitted"] == 0
+            text = service.metrics.render()
+            assert (
+                'repro_shed_requests_total'
+                '{graph="toy",reason="max_pending"} 3' in text
+            )
+        finally:
+            service.close()
+
+    def test_retired_executor_direct_serve_is_counted(self, registry):
+        from repro.obs import MetricsRegistry
+        from repro.service.server import _ArtifactExecutor
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry()
+        )
+        try:
+            service.handle({
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seeds": [0],
+            })
+            key = service._artifact_key(
+                {"graph": "toy", "theta": 100}
+            )
+            executor = service._executors[key]
+            assert isinstance(executor, _ArtifactExecutor)
+            executor.close()  # retire it under the service's feet
+            before = self._counters(service, "toy")
+            response = service.handle({
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seeds": [0], "blocked": [4],
+            })
+            assert response["ok"]
+            after = self._counters(service, "toy")
+            assert after["direct"] == before["direct"] + 1
+            # direct serves bypass the queue: no pending/submitted drift
+            assert after["submitted"] == before["submitted"]
+            assert after["pending"] == 0
+        finally:
+            service.close()
+
+    def test_failed_enqueue_releases_the_pending_slot(self, registry):
+        """A put() that explodes must roll back ``_pending`` — a
+        leaked slot would ratchet the admission guard shut."""
+        from repro.obs import MetricsRegistry
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry(), max_pending=1
+        )
+        try:
+            service.handle({
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seeds": [0],
+            })
+            key = service._artifact_key({"graph": "toy", "theta": 100})
+            executor = service._executors[key]
+
+            class _Boom(Exception):
+                pass
+
+            class _ExplodingQueue:
+                def put(self, item):
+                    raise _Boom("queue full")
+
+            real_queue = executor._queue
+            executor._queue = _ExplodingQueue()
+            try:
+                with pytest.raises(_Boom):
+                    executor.submit(
+                        "spread",
+                        {"seeds": [0], "blocked": [], "theta": 100},
+                    )
+            finally:
+                executor._queue = real_queue
+            assert executor._pending == 0
+            counters = self._counters(service, "toy")
+            assert counters["pending"] == 0
+            # the slot is free again: the next query must not shed
+            response = service.handle({
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seeds": [0],
+            })
+            assert response["ok"]
+        finally:
+            service.close()
+
+    def test_engine_error_keeps_accounting_exact(self, registry):
+        from repro.obs import MetricsRegistry
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry()
+        )
+        try:
+            service.handle({
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seeds": [0],
+            })
+            key = service._artifact_key({"graph": "toy", "theta": 100})
+            artifact = service.cache.get(key)
+
+            def explode(*args, **kwargs):
+                raise RuntimeError("engine exploded")
+
+            original = artifact.spread_many
+            artifact.spread_many = explode
+            try:
+                response = service.handle({
+                    "op": "spread", "graph": "toy", "theta": 100,
+                    "seeds": [0],
+                })
+            finally:
+                artifact.spread_many = original
+            assert not response["ok"]
+            assert "engine exploded" in response["error"]["message"]
+            counters = self._counters(service, "toy")
+            assert counters["pending"] == 0
+            assert counters["submitted"] == counters["completed"]
+        finally:
+            service.close()
+
+    def test_worker_crash_fails_futures_instead_of_hanging(
+        self, registry
+    ):
+        """An exception the worker loop never anticipated (here: a
+        trace whose ``add_span`` explodes) must fail the waiting
+        future, not strand it — and the accounting must still
+        reconcile."""
+        from repro.obs import MetricsRegistry
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry()
+        )
+        try:
+            service.handle({
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seeds": [0],
+            })
+            key = service._artifact_key({"graph": "toy", "theta": 100})
+            executor = service._executors[key]
+
+            class _BombTrace:
+                def add_span(self, *args, **kwargs):
+                    raise RuntimeError("tracing exploded")
+
+            with pytest.raises(RuntimeError, match="tracing exploded"):
+                executor.submit(
+                    "spread",
+                    {"seeds": [0], "blocked": [], "theta": 100},
+                    trace=_BombTrace(),
+                )
+            counters = self._counters(service, "toy")
+            assert counters["pending"] == 0
+            assert counters["submitted"] == counters["completed"]
+            # the worker thread survived: the next query still answers
+            response = service.handle({
+                "op": "spread", "graph": "toy", "theta": 100,
+                "seeds": [0],
+            })
+            assert response["ok"]
+        finally:
+            service.close()
+
+    def test_inflight_gauge_settles_to_zero(self, registry):
+        from repro.obs import MetricsRegistry
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry()
+        )
+        try:
+            service.handle({"op": "ping"})
+            service.handle({"op": "nope"})  # errors also decrement
+            gauge = service.metrics.gauge("repro_inflight_requests")
+            assert gauge.value == 0.0
+        finally:
+            service.close()
+
+
+class TestProfileOp:
+    @pytest.fixture()
+    def service(self, registry):
+        from repro.obs import MetricsRegistry
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry()
+        )
+        yield service
+        service.close()
+
+    def test_start_dump_stop_round_trip(self, service):
+        started = service.handle(
+            {"op": "profile", "action": "start", "hz": 500}
+        )
+        assert started["ok"]
+        assert started["result"]["active"] is True
+        assert started["result"]["hz"] == 500.0
+        service.handle({
+            "op": "spread", "graph": "toy", "theta": 100, "seeds": [0],
+        })
+        time.sleep(0.05)  # a few ticks even on a fast machine
+        dump = service.handle(
+            {"op": "profile", "action": "dump", "limit": 10}
+        )
+        assert dump["ok"]
+        assert dump["result"]["samples"] > 0
+        assert isinstance(dump["result"]["collapsed"], str)
+        assert len(dump["result"]["collapsed"].splitlines()) <= 10
+        stopped = service.handle({"op": "profile", "action": "stop"})
+        assert stopped["ok"]
+        assert stopped["result"]["active"] is False
+        status = service.handle({"op": "profile"})
+        assert status["result"]["active"] is False
+
+    def test_start_twice_is_an_error(self, service):
+        service.handle({"op": "profile", "action": "start", "hz": 500})
+        response = service.handle({"op": "profile", "action": "start"})
+        assert not response["ok"]
+        assert "already running" in response["error"]["message"]
+
+    def test_restart_with_new_hz_recreates(self, service):
+        service.handle({"op": "profile", "action": "start", "hz": 500})
+        service.handle({"op": "profile", "action": "stop"})
+        started = service.handle(
+            {"op": "profile", "action": "start", "hz": 250}
+        )
+        assert started["result"]["hz"] == 250.0
+
+    def test_validation(self, service):
+        for request, fragment in [
+            ({"op": "profile", "action": "flame"}, "unknown profile"),
+            (
+                {"op": "profile", "action": "start", "hz": "fast"},
+                "must be a number",
+            ),
+            (
+                {"op": "profile", "action": "start", "hz": 10_000},
+                "hz must be",
+            ),
+            ({"op": "profile", "action": "dump"}, "never started"),
+            (
+                {"op": "profile", "action": "stop"},
+                "never started",
+            ),
+        ]:
+            response = service.handle(request)
+            assert not response["ok"], request
+            assert fragment in response["error"]["message"]
+        bad_limit = service.handle({"op": "profile", "action": "start"})
+        assert bad_limit["ok"]
+        response = service.handle(
+            {"op": "profile", "action": "dump", "limit": 0}
+        )
+        assert not response["ok"]
+
+    def test_serve_profile_hz_arms_from_boot(self, registry):
+        from repro.obs import MetricsRegistry
+
+        service = BlockerService(
+            registry=registry,
+            metrics=MetricsRegistry(),
+            profile_hz=500,
+        )
+        try:
+            assert service.profiler is not None
+            assert service.profiler.active
+            stats = service.handle({"op": "stats"})["result"]
+            assert stats["profiler"]["active"] is True
+        finally:
+            service.close()
+        assert not service.profiler.active  # close() stops it
+
+    def test_client_verb_and_tcp(self, registry):
+        from repro.obs import MetricsRegistry
+        from repro.service import BadParamsError
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry()
+        )
+        server = serve(port=0, service=service)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            with client_for(server) as client:
+                with pytest.raises(BadParamsError, match="action"):
+                    client.profile("flame")
+                client.profile("start", hz=500)
+                client.spread(graph="toy", theta=100, seeds=[0])
+                time.sleep(0.05)
+                dump = client.profile("dump", limit=5)
+                assert dump["samples"] > 0
+                stopped = client.profile("stop")
+                assert stopped["active"] is False
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestServiceSLOs:
+    def test_slo_section_in_stats_and_gauges(self, registry):
+        from repro.obs import MetricsRegistry, parse_slo
+
+        service = BlockerService(
+            registry=registry,
+            metrics=MetricsRegistry(),
+            slos=[parse_slo("p99=250ms"), parse_slo("error_rate=50%")],
+        )
+        try:
+            for _ in range(3):
+                service.handle({"op": "ping"})
+            stats = service.handle({"op": "stats"})["result"]
+            slos = {
+                entry["spec"]: entry for entry in stats["slo"]["slos"]
+            }
+            assert slos["p99=250ms"]["requests"] >= 3
+            assert "burn_rate" in slos["error_rate=50%"]
+            text = service.metrics.render()
+            assert 'repro_slo_burn_rate{slo="p99_250ms"}' in text
+        finally:
+            service.close()
+
+    def test_no_slo_section_without_slos(self, registry):
+        from repro.obs import MetricsRegistry
+
+        service = BlockerService(
+            registry=registry, metrics=MetricsRegistry()
+        )
+        try:
+            stats = service.handle({"op": "stats"})["result"]
+            assert "slo" not in stats
+        finally:
+            service.close()
