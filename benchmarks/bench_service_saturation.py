@@ -1,31 +1,42 @@
-"""Service saturation: find the knee and meter the profiler's cost.
+"""Service saturation: worker-ladder knee through the sharded tier.
 
 The latency benchmark (``bench_service_latency.py``) asks how fast a
 warm query is; this one asks how far the service bends before it
-breaks.  A ladder of closed-loop client counts fires spread queries
-at one warm artifact over real TCP; each rung reports its sustained
-throughput and tail latency, and the **knee** is the highest sustained
-qps whose p99 stays under the bar — expressed as a multiple of the
-same-run single-client p50, so the bar moves with machine speed
-instead of encoding it.
+breaks — and, since the sharded front end landed, how much further
+each extra worker process pushes the bend.  For every rung of the
+**worker ladder** (1/2/4 shard workers behind one asyncio front end)
+a ladder of closed-loop client counts fires spread queries over real
+TCP at a set of graph aliases chosen to cover every shard; each rung
+reports sustained throughput and tail latency, and its **knee** is
+the highest sustained qps whose p99 stays under the bar — expressed
+as a multiple of the same-run single-client serial p50, so the bar
+moves with machine speed instead of encoding it.
 
-Two more things ride along:
+The topology under test is exactly ``serve --serve-workers N``: the
+aliases all resolve to one dataset, each owned by the shard
+``shard_for(name, N)`` picks, artifacts persist to a shared
+``cache_dir`` so later rungs rehydrate the PR 7 mmap artifacts
+instead of re-building, and the sampling profiler runs *through the
+fan-out op* — its collapsed dump keeps each worker's stacks under a
+``workerN;`` root frame.
 
-* **profiler overhead** — the single-client phase runs twice, without
-  and with the sampling profiler at its default rate; the report
-  asserts the warm-query p50 moved less than the budget (default 5%,
-  the ISSUE 8 acceptance bar).  The profiler then stays on through
-  the whole sweep, so its collapsed-stack dump is a flamegraph of the
-  service *under saturation* — written next to the JSON report (CI
-  uploads it as an artifact).
-* **per-phase span breakdowns** — a traced probe through the real
-  protocol after the sweep, plus each rung's coalescing and
-  executor-counter deltas, so a throughput regression can be blamed
-  on a phase rather than re-measured from scratch.
+Two more things ride along, unchanged in spirit from schema 1:
 
-CI gates ``sustained_speedup_vs_serial`` — knee qps over same-run
-profiled serial qps, a ratio of two same-process measurements that
-cancels machine speed — via ``benchmarks/check_bench_regression.py``.
+* **profiler overhead** — the single-worker rung runs its
+  single-client phase twice (A/B/A, off/on/off) and asserts the warm
+  p50 moved less than the budget (default 5%).
+* **per-phase span breakdowns** — a traced probe through the widest
+  topology (includes the ``frontend.route`` span), plus each rung's
+  coalescing and executor-counter deltas parsed from the merged
+  exposition.
+
+CI gates ``sustained_speedup_vs_serial`` — the widest rung's knee qps
+over same-run profiled serial qps, a ratio of two same-process
+measurements that cancels machine speed — via
+``benchmarks/check_bench_regression.py``.  Scaling past 1x requires
+real cores: on a single-CPU host every worker count measures
+approximately the same ceiling, and the committed baseline records
+whatever the bench host can actually sustain.
 
 Run standalone::
 
@@ -45,17 +56,16 @@ import time
 
 import numpy as np
 
-from repro.obs import DEFAULT_HZ, iter_spans, MetricsRegistry
+from repro.datasets import load_dataset
+from repro.obs import DEFAULT_HZ, iter_spans
 from repro.service import (
-    ArtifactCache,
-    ArtifactKey,
-    BlockerService,
-    default_registry,
-    serve,
+    shard_for,
     ServiceClient,
+    ShardedFrontend,
+    WorkerSpec,
 )
 
-JSON_SCHEMA = 1
+JSON_SCHEMA = 2
 
 PROFILE_STACK_LIMIT = 40
 """Hottest stacks embedded in the JSON report (the full dump goes to
@@ -81,24 +91,49 @@ def _blocked_for(query: int, seeds: list[int], n: int) -> list[int]:
     return sorted(candidates[i] for i in picks)
 
 
-def _executor_counters(service: BlockerService, graph: str) -> dict:
-    """Current executor saturation counters for one graph label."""
-    metrics = service.metrics
+def _shard_aliases(dataset: str, workers: int) -> list[str]:
+    """``workers`` alias names for one dataset covering every shard.
 
-    def counter(name: str) -> float:
-        return metrics.counter(name, labels=("graph",)).labels(graph).value
+    Alias ``i`` lands on shard ``i`` at ``workers`` processes; because
+    ``shard_for`` reduces one stable integer, an alias on shard ``i``
+    of 4 sits on shard ``i mod 2`` of 2 — so the same alias set stays
+    perfectly balanced at every power-of-two rung below the widest.
+    """
+    found: dict[int, str] = {}
+    probe = 0
+    while len(found) < workers:
+        name = f"{dataset}~{probe}"
+        shard = shard_for(name, workers)
+        if shard not in found:
+            found[shard] = name
+        probe += 1
+    return [found[shard] for shard in range(workers)]
 
+
+def _metric_total(text: str, family: str) -> float:
+    """Sum one family's samples across every worker label in a merged
+    exposition page."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith(f"{family}{{") or line.startswith(
+            f"{family} "
+        ):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def _executor_counters(exposition: str) -> dict[str, float]:
+    """Cross-shard executor saturation counters from one scrape."""
     return {
-        "submitted": counter("repro_executor_submitted_total"),
-        "completed": counter("repro_executor_completed_total"),
-        "pending": metrics.gauge(
-            "repro_executor_pending", labels=("graph",)
-        ).labels(graph).value,
-        "queue_age_seconds": round(
-            metrics.gauge(
-                "repro_executor_queue_age_seconds", labels=("graph",)
-            ).labels(graph).value,
-            6,
+        "submitted": _metric_total(
+            exposition, "repro_executor_submitted_total"
+        ),
+        "completed": _metric_total(
+            exposition, "repro_executor_completed_total"
+        ),
+        "pending": _metric_total(exposition, "repro_executor_pending"),
+        "batches": _metric_total(
+            exposition, "repro_coalesced_batches_total"
         ),
     }
 
@@ -106,14 +141,17 @@ def _executor_counters(service: BlockerService, graph: str) -> dict:
 def _fire(
     host: str,
     port: int,
-    key: ArtifactKey,
+    key_fields: dict,
+    graphs: list[str],
     seeds: list[int],
     n: int,
     clients: int,
     queries_per_client: int,
     offset: int,
 ) -> tuple[list[float], float]:
-    """Closed-loop load: every client fires back-to-back queries.
+    """Closed-loop load: every client fires back-to-back queries at
+    its own graph alias (``graphs[client % len(graphs)]``), so the
+    ladder exercises every shard of whatever topology is listening.
 
     Returns (per-query latencies, wall seconds across the whole rung).
     """
@@ -123,6 +161,7 @@ def _fire(
 
     def worker(idx: int) -> None:
         try:
+            graph = graphs[idx % len(graphs)]
             with ServiceClient(host, port) as client:
                 barrier.wait()
                 for q in range(queries_per_client):
@@ -131,7 +170,8 @@ def _fire(
                     )
                     start = time.perf_counter()
                     client.spread(
-                        seeds=seeds, blocked=blocked, **key.as_dict()
+                        graph=graph, seeds=seeds, blocked=blocked,
+                        **key_fields,
                     )
                     latencies[idx].append(time.perf_counter() - start)
         except BaseException as error:  # noqa: BLE001 - surface
@@ -153,173 +193,273 @@ def _fire(
     return [latency for per in latencies for latency in per], wall
 
 
+def _start_topology(
+    workers: int, params: dict, aliases: list[str], cache_dir: str
+) -> ShardedFrontend:
+    spec = WorkerSpec(
+        scale=params["scale"],
+        aliases=tuple((name, params["dataset"]) for name in aliases),
+        cache_entries=len(aliases) + 1,
+        cache_dir=cache_dir,
+    )
+    frontend = ShardedFrontend(
+        workers=workers,
+        worker_spec=spec,
+        # bench rungs must measure queueing, not shedding
+        max_pending=None,
+    )
+    return frontend.start()
+
+
+def _warm_topology(
+    frontend: ShardedFrontend,
+    params: dict,
+    aliases: list[str],
+    key_fields: dict,
+) -> list[int]:
+    """Warm every alias (build or mmap-rehydrate) through the wire;
+    returns the server-resolved seed set (identical across aliases —
+    they are one dataset)."""
+    host, port = frontend.address
+    seeds: list[int] | None = None
+    with ServiceClient(host, port) as client:
+        for alias in aliases:
+            client.warm(graph=alias, **key_fields)
+            result = client.spread(
+                graph=alias,
+                num_seeds=params["num_seeds"],
+                **key_fields,
+            )
+            resolved = result["seeds"]
+            if seeds is None:
+                seeds = resolved
+            elif resolved != seeds:  # pragma: no cover - invariant
+                raise AssertionError(
+                    f"alias {alias} resolved different default seeds "
+                    f"{resolved} != {seeds}"
+                )
+            client.warm(
+                graph=alias, seeds=seeds, sketch=True, **key_fields
+            )
+    assert seeds is not None
+    return seeds
+
+
+def _merged_profile_stats(dump: dict) -> dict[str, object]:
+    """Flatten the fan-out ``profile`` result: sum volumes across the
+    per-worker reports, keep one hz."""
+    hz = None
+    overruns = 0
+    distinct = 0
+    for report in (dump.get("workers") or {}).values():
+        if not isinstance(report, dict) or "hz" not in report:
+            continue
+        hz = report["hz"] if hz is None else hz
+        overruns += int(report.get("overruns", 0))
+        distinct += int(report.get("distinct_stacks", 0))
+    return {
+        "hz": hz,
+        "samples": int(dump.get("samples", 0)),
+        "overruns": overruns,
+        "distinct_stacks": distinct,
+    }
+
+
 def run(params: dict) -> dict[str, object]:
-    key = ArtifactKey(
-        params["dataset"], params["model"], params["theta"],
-        params["seed"],
-    )
-    registry = default_registry(scale=params["scale"])
-    service = BlockerService(
-        registry=registry,
-        cache=ArtifactCache(registry, max_entries=2),
-        metrics=MetricsRegistry(),
-    )
-    server = serve(port=0, service=service)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    host, port = server.server_address[:2]
+    import tempfile
+
+    key_fields = {
+        "model": params["model"],
+        "theta": params["theta"],
+        "seed": params["seed"],
+    }
+    worker_ladder = params["worker_ladder"]
+    max_workers = max(worker_ladder)
+    aliases = _shard_aliases(params["dataset"], max_workers)
+    n = load_dataset(params["dataset"], scale=params["scale"]).n
     queries = params["queries_per_client"]
-    try:
-        with ServiceClient(host, port) as warm_client:
-            warm_client.warm(**key.as_dict())
-            artifact = service.cache.get(key)
-            seeds = artifact.default_seeds(params["num_seeds"])
-            n = artifact.csr.n
-            warm_client.spread(seeds=seeds, **key.as_dict())
 
-        # --- profiler overhead: A/B/A so warmup drift cancels ---
-        # off and on batches straddle each other (off, on, off); the
-        # off baseline pools both flanks, so a process that is still
-        # speeding up (or slowing down) biases both sides equally
-        # instead of being billed to the profiler
-        offset = 0
-        off1_lat, off1_wall = _fire(
-            host, port, key, seeds, n, 1, queries, offset
-        )
-        offset += queries
-        with ServiceClient(host, port) as ctl:
-            ctl.profile("start", hz=params["profile_hz"])
-        on_lat, on_wall = _fire(
-            host, port, key, seeds, n, 1, queries, offset
-        )
-        offset += queries
-        with ServiceClient(host, port) as ctl:
-            ctl.profile("stop")
-        off2_lat, off2_wall = _fire(
-            host, port, key, seeds, n, 1, queries, offset
-        )
-        offset += queries
-        off_lat = off1_lat + off2_lat
-        serial_off = _percentiles(off_lat)
-        serial_on = _percentiles(on_lat)
-        serial_off["qps"] = round(
-            len(off_lat) / (off1_wall + off2_wall), 2
-        )
-        serial_on["qps"] = round(len(on_lat) / on_wall, 2)
-        overhead_pct = round(
-            (serial_on["p50_ms"] - serial_off["p50_ms"])
-            / serial_off["p50_ms"]
-            * 100.0,
-            2,
-        )
+    serial_off: dict | None = None
+    serial_on: dict | None = None
+    overhead_pct: float | None = None
+    bar_ms: float | None = None
+    worker_sweep: list[dict[str, object]] = []
+    phases: dict[str, dict[str, float]] = {}
+    profile_summary: dict[str, object] = {}
+    collapsed_parts: list[str] = []
+    offset = 0
 
-        # --- re-arm the profiler for the sweep (same tally keeps
-        # accumulating; the dump is the whole run's flamegraph) ---
-        with ServiceClient(host, port) as ctl:
-            ctl.profile("start", hz=params["profile_hz"])
+    with tempfile.TemporaryDirectory(
+        prefix="bench-saturation-"
+    ) as cache_dir:
+        for workers in worker_ladder:
+            frontend = _start_topology(
+                workers, params, aliases, cache_dir
+            )
+            host, port = frontend.address
+            try:
+                seeds = _warm_topology(
+                    frontend, params, aliases, key_fields
+                )
+                if serial_on is None:
+                    # --- profiler overhead on the narrowest topology:
+                    # A/B/A (off, on, off) so warmup drift biases both
+                    # flanks equally instead of being billed to the
+                    # profiler; single client, single alias = the
+                    # serial baseline every wider rung is scored
+                    # against ---
+                    off1_lat, off1_wall = _fire(
+                        host, port, key_fields, aliases[:1], seeds, n,
+                        1, queries, offset,
+                    )
+                    offset += queries
+                    with ServiceClient(host, port) as ctl:
+                        ctl.profile("start", hz=params["profile_hz"])
+                    on_lat, on_wall = _fire(
+                        host, port, key_fields, aliases[:1], seeds, n,
+                        1, queries, offset,
+                    )
+                    offset += queries
+                    with ServiceClient(host, port) as ctl:
+                        ctl.profile("stop")
+                    off2_lat, off2_wall = _fire(
+                        host, port, key_fields, aliases[:1], seeds, n,
+                        1, queries, offset,
+                    )
+                    offset += queries
+                    off_lat = off1_lat + off2_lat
+                    serial_off = _percentiles(off_lat)
+                    serial_on = _percentiles(on_lat)
+                    serial_off["qps"] = round(
+                        len(off_lat) / (off1_wall + off2_wall), 2
+                    )
+                    serial_on["qps"] = round(len(on_lat) / on_wall, 2)
+                    overhead_pct = round(
+                        (serial_on["p50_ms"] - serial_off["p50_ms"])
+                        / serial_off["p50_ms"]
+                        * 100.0,
+                        2,
+                    )
+                    bar_ms = round(
+                        serial_on["p50_ms"]
+                        * params["p99_bar_multiple"],
+                        4,
+                    )
 
-        # --- the sweep, profiler still sampling ---
-        bar_ms = round(
-            serial_on["p50_ms"] * params["p99_bar_multiple"], 4
-        )
-        sweep: list[dict[str, object]] = []
-        before_stats = service.stats.as_dict()
-        for clients in params["client_ladder"]:
-            counters_before = _executor_counters(service, key.graph)
-            lat, wall = _fire(
-                host, port, key, seeds, n, clients, queries, offset
-            )
-            offset += clients * queries
-            counters_after = _executor_counters(service, key.graph)
-            after_stats = service.stats.as_dict()
-            point = _percentiles(lat)
-            point["clients"] = clients
-            point["queries"] = len(lat)
-            point["qps"] = round(len(lat) / wall, 2)
-            point["under_bar"] = point["p99_ms"] <= bar_ms
-            point["coalesced_batches"] = (
-                after_stats["batches"] - before_stats["batches"]
-            )
-            point["executor"] = {
-                "submitted": counters_after["submitted"]
-                - counters_before["submitted"],
-                "completed": counters_after["completed"]
-                - counters_before["completed"],
-                "pending_after": counters_after["pending"],
-                "queue_age_seconds": counters_after[
-                    "queue_age_seconds"
-                ],
-            }
-            before_stats = after_stats
-            sweep.append(point)
+                # --- the rung's client-ladder sweep, profiler
+                # sampling in every worker ---
+                with ServiceClient(host, port) as ctl:
+                    ctl.profile("start", hz=params["profile_hz"])
+                sweep: list[dict[str, object]] = []
+                with ServiceClient(host, port) as scrape:
+                    counters = _executor_counters(scrape.metrics())
+                for clients in params["client_ladder"]:
+                    lat, wall = _fire(
+                        host, port, key_fields, aliases, seeds, n,
+                        clients, queries, offset,
+                    )
+                    offset += clients * queries
+                    with ServiceClient(host, port) as scrape:
+                        after = _executor_counters(scrape.metrics())
+                    point = _percentiles(lat)
+                    point["clients"] = clients
+                    point["queries"] = len(lat)
+                    point["qps"] = round(len(lat) / wall, 2)
+                    point["under_bar"] = point["p99_ms"] <= bar_ms
+                    point["coalesced_batches"] = int(
+                        after["batches"] - counters["batches"]
+                    )
+                    point["executor"] = {
+                        "submitted": after["submitted"]
+                        - counters["submitted"],
+                        "completed": after["completed"]
+                        - counters["completed"],
+                        "pending_after": after["pending"],
+                    }
+                    counters = after
+                    sweep.append(point)
 
-        knee = None
-        for point in sweep:
-            if point["under_bar"] and (
-                knee is None or point["qps"] > knee["qps"]
-            ):
-                knee = point
-        sustained_qps = knee["qps"] if knee is not None else 0.0
-        sustained_speedup = (
-            round(sustained_qps / serial_on["qps"], 2)
-            if serial_on["qps"]
-            else 0.0
-        )
+                knee = None
+                for point in sweep:
+                    if point["under_bar"] and (
+                        knee is None or point["qps"] > knee["qps"]
+                    ):
+                        knee = point
+                rung_qps = knee["qps"] if knee is not None else 0.0
+                worker_sweep.append({
+                    "workers": workers,
+                    "sweep": sweep,
+                    "knee": knee,
+                    "sustained_qps": rung_qps,
+                    "sustained_speedup_vs_serial": (
+                        round(rung_qps / serial_on["qps"], 2)
+                        if serial_on["qps"]
+                        else 0.0
+                    ),
+                })
 
-        # --- per-phase breakdown: one traced probe, warm path ---
-        with ServiceClient(host, port) as probe:
-            traced = probe.request(
-                "spread", seeds=seeds, blocked=[], trace=True,
-                **key.as_dict(),
-            )
-        phases: dict[str, dict[str, float]] = {}
-        for node in iter_spans(traced.get("trace", {})):
-            entry = phases.setdefault(
-                node["name"], {"count": 0, "total_ms": 0.0}
-            )
-            entry["count"] += 1
-            entry["total_ms"] = round(
-                entry["total_ms"] + node["duration_ms"], 3
-            )
+                if workers == max_workers:
+                    # --- per-phase breakdown through the widest
+                    # topology: one traced probe (includes the
+                    # frontend.route span) ---
+                    with ServiceClient(host, port) as probe:
+                        traced = probe.request(
+                            "spread", graph=aliases[0], seeds=seeds,
+                            blocked=[], trace=True, **key_fields,
+                        )
+                    for node in iter_spans(traced.get("trace", {})):
+                        entry = phases.setdefault(
+                            node["name"],
+                            {"count": 0, "total_ms": 0.0},
+                        )
+                        entry["count"] += 1
+                        entry["total_ms"] = round(
+                            entry["total_ms"] + node["duration_ms"], 3
+                        )
 
-        # --- the profile artifact: the whole run's collapsed stacks ---
-        with ServiceClient(host, port) as ctl:
-            dump = ctl.profile("stop")
-            collapsed_full = service.profiler.collapsed()
-            collapsed_top = service.profiler.collapsed(
-                PROFILE_STACK_LIMIT
-            )
-        return {
-            "schema": JSON_SCHEMA,
-            "params": params,
-            "serial": serial_off,
-            "serial_profiled": serial_on,
-            "profiler_overhead_pct": overhead_pct,
-            "p99_bar_ms": bar_ms,
-            "sweep": sweep,
-            "knee": knee,
-            "sustained_qps": sustained_qps,
-            "sustained_speedup_vs_serial": sustained_speedup,
-            "phases": phases,
-            "profile": {
-                "hz": dump["hz"],
-                "samples": dump["samples"],
-                "overruns": dump["overruns"],
-                "distinct_stacks": dump["distinct_stacks"],
-                "top_stacks": collapsed_top.splitlines(),
-            },
-            "_collapsed_full": collapsed_full,
-        }
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=5)
+                # --- this rung's profile dump (the workers die with
+                # the rung; collect before teardown) ---
+                with ServiceClient(host, port) as ctl:
+                    dump = ctl.profile("dump")
+                    ctl.profile("stop")
+                for line in (dump.get("collapsed") or "").splitlines():
+                    collapsed_parts.append(f"workers{workers};{line}")
+                if workers == max_workers:
+                    profile_summary = _merged_profile_stats(dump)
+            finally:
+                frontend.shutdown()
+
+    collapsed_full = "\n".join(collapsed_parts)
+    top_stacks = sorted(
+        collapsed_parts,
+        key=lambda line: -int(line.rsplit(" ", 1)[1]),
+    )[:PROFILE_STACK_LIMIT]
+    widest = worker_sweep[-1]
+    profile_summary["top_stacks"] = top_stacks
+    return {
+        "schema": JSON_SCHEMA,
+        "params": params,
+        "serial": serial_off,
+        "serial_profiled": serial_on,
+        "profiler_overhead_pct": overhead_pct,
+        "p99_bar_ms": bar_ms,
+        "worker_sweep": worker_sweep,
+        "sweep": widest["sweep"],
+        "knee": widest["knee"],
+        "sustained_qps": widest["sustained_qps"],
+        "sustained_speedup_vs_serial": widest[
+            "sustained_speedup_vs_serial"
+        ],
+        "phases": phases,
+        "profile": profile_summary,
+        "_collapsed_full": collapsed_full,
+    }
 
 
 def render(report: dict) -> str:
     serial = report["serial"]
     lines = [
-        "service saturation — knee of the clients ladder "
+        "service saturation — worker ladder through the sharded tier "
         f"({report['params']['dataset']}, scale="
         f"{report['params']['scale']:g}, theta="
         f"{report['params']['theta']}, p99 bar "
@@ -329,25 +469,35 @@ def render(report: dict) -> str:
         f"{report['serial_profiled']['p50_ms']:.2f} ms, overhead "
         f"{report['profiler_overhead_pct']:+.1f}%)",
     ]
-    for point in report["sweep"]:
-        marker = " " if point["under_bar"] else "!"
-        lines.append(
-            f"  {point['clients']:3d} client{'s' if point['clients'] != 1 else ' '}"
-            f" {marker} p50 {point['p50_ms']:8.2f} ms   p99 "
-            f"{point['p99_ms']:8.2f} ms   {point['qps']:8.2f} q/s   "
-            f"batches {point['coalesced_batches']}"
-        )
-    knee = report["knee"]
-    if knee is None:
-        lines.append("  knee: NONE — every rung blew the p99 bar")
-    else:
-        lines.append(
-            f"  knee: {knee['clients']} clients at "
-            f"{report['sustained_qps']:.2f} q/s = "
-            f"{report['sustained_speedup_vs_serial']:.2f}x serial "
-            f"({report['profile']['samples']} profile samples, "
-            f"{report['profile']['distinct_stacks']} stacks)"
-        )
+    for rung in report["worker_sweep"]:
+        lines.append(f"  -- {rung['workers']} worker(s) --")
+        for point in rung["sweep"]:
+            marker = " " if point["under_bar"] else "!"
+            lines.append(
+                f"  {point['clients']:3d} client"
+                f"{'s' if point['clients'] != 1 else ' '}"
+                f" {marker} p50 {point['p50_ms']:8.2f} ms   p99 "
+                f"{point['p99_ms']:8.2f} ms   {point['qps']:8.2f} q/s"
+                f"   batches {point['coalesced_batches']}"
+            )
+        knee = rung["knee"]
+        if knee is None:
+            lines.append(
+                "     knee: NONE — every rung blew the p99 bar"
+            )
+        else:
+            lines.append(
+                f"     knee: {knee['clients']} clients at "
+                f"{rung['sustained_qps']:.2f} q/s = "
+                f"{rung['sustained_speedup_vs_serial']:.2f}x serial"
+            )
+    profile = report["profile"]
+    lines.append(
+        f"  widest rung: {report['sustained_qps']:.2f} q/s sustained "
+        f"= {report['sustained_speedup_vs_serial']:.2f}x serial "
+        f"({profile.get('samples', 0)} profile samples, "
+        f"{profile.get('distinct_stacks', 0)} stacks)"
+    )
     return "\n".join(lines)
 
 
@@ -360,8 +510,9 @@ def test_service_saturation(benchmark):
         "theta": 100,
         "seed": 7,
         "num_seeds": 3,
-        "queries_per_client": 10,
-        "client_ladder": [1, 2, 4],
+        "queries_per_client": 8,
+        "client_ladder": [1, 2],
+        "worker_ladder": [1, 2],
         "p99_bar_multiple": 50.0,
         "profile_hz": DEFAULT_HZ,
     }
@@ -369,6 +520,7 @@ def test_service_saturation(benchmark):
         lambda: run(params), rounds=1, iterations=1
     )
     print(render(report))
+    assert len(report["worker_sweep"]) == 2
     assert report["profile"]["samples"] > 0
 
 
@@ -387,6 +539,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--clients", default="1,2,4,8", metavar="LADDER",
         help="comma-separated client counts to sweep (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--workers", default="1,2,4", metavar="LADDER",
+        help=(
+            "comma-separated shard-worker counts to sweep "
+            "(default: 1,2,4); each rung is a fresh --serve-workers "
+            "topology over the same persisted artifacts"
+        ),
     )
     parser.add_argument(
         "--p99-bar-multiple", type=float, default=20.0,
@@ -424,15 +584,21 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
-    try:
-        ladder = sorted(
-            {int(c) for c in args.clients.split(",") if c.strip()}
-        )
-    except ValueError:
-        print(f"error: bad --clients ladder {args.clients!r}")
-        return 2
-    if not ladder or ladder[0] < 1:
-        print("error: --clients needs positive client counts")
+
+    def parse_ladder(text: str, flag: str) -> list[int] | None:
+        try:
+            ladder = sorted({int(c) for c in text.split(",") if c.strip()})
+        except ValueError:
+            print(f"error: bad {flag} ladder {text!r}")
+            return None
+        if not ladder or ladder[0] < 1:
+            print(f"error: {flag} needs positive counts")
+            return None
+        return ladder
+
+    ladder = parse_ladder(args.clients, "--clients")
+    workers = parse_ladder(args.workers, "--workers")
+    if ladder is None or workers is None:
         return 2
     params = {
         "dataset": args.dataset,
@@ -443,6 +609,7 @@ def main(argv: list[str] | None = None) -> int:
         "num_seeds": args.num_seeds,
         "queries_per_client": args.queries_per_client,
         "client_ladder": ladder,
+        "worker_ladder": workers,
         "p99_bar_multiple": args.p99_bar_multiple,
         "profile_hz": args.profile_hz,
     }

@@ -60,6 +60,12 @@ stopped hitting, an accidental O(n) in the hot path).
 Exit codes: 0 pass, 1 regression, 2 unusable input (missing file,
 kind or parameter mismatch between the runs).
 
+``--adopt`` flips the tool from gate to recorder: the current report
+is validated, copied over ``--baseline`` verbatim, and one provenance
+line is appended to ``benchmarks/BASELINES.md`` — the recorded step
+behind every committed baseline change (hand-editing the JSON loses
+the trail).
+
 Usage::
 
     python benchmarks/bench_engine_throughput.py --n 2000 --rounds 200 \\
@@ -140,6 +146,7 @@ _SATURATION_IDENTITY_PARAMS = (
     "num_seeds",
     "queries_per_client",
     "client_ladder",
+    "worker_ladder",
     "p99_bar_multiple",
     "profile_hz",
 )
@@ -440,6 +447,71 @@ def compare_mmap_artifacts(
     return failures, lines
 
 
+# the headline number a ledger entry records per report kind
+_GATED_METRIC = {
+    "engine": "backends",
+    "service": "warm_speedup_vs_cold_inprocess",
+    "service_saturation": "sustained_speedup_vs_serial",
+    "sketch_build": "build_speedup_vs_legacy",
+    "sketch_query": "select_speedup_vs_legacy",
+    "mmap_artifacts": "rehydrate_speedup_vs_cold",
+}
+
+_LEDGER = Path("benchmarks/BASELINES.md")
+
+
+def adopt(current_path: str, baseline_path: str) -> int:
+    """Regenerate a committed baseline through a recorded step.
+
+    Validates the fresh report, copies it over the baseline, and
+    appends one line to the ledger (``benchmarks/BASELINES.md``) so a
+    baseline change always carries its provenance in the same diff —
+    never hand-edit the committed JSON.
+    """
+    import datetime
+
+    current = load_report(current_path)
+    kind = report_kind(current)
+    baseline_file = Path(baseline_path)
+    if baseline_file.is_file():
+        old_kind = report_kind(load_report(baseline_file))
+        if kind != old_kind:
+            _die(
+                f"error: refusing to adopt — {current_path} is a "
+                f"{kind} report but {baseline_path} holds {old_kind}"
+            )
+    metric = _GATED_METRIC.get(kind, "")
+    if metric == "backends":
+        summary = ", ".join(
+            f"{name}={entry.get('speedup_vs_scalar', '?')}x"
+            for name, entry in sorted(current["backends"].items())
+            if name != "scalar"
+        )
+    else:
+        summary = f"{metric}={current.get(metric, '?')}x"
+    payload = dict(current)
+    payload.pop("_collapsed_full", None)
+    with open(baseline_file, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    stamp = datetime.date.today().isoformat()
+    if not _LEDGER.is_file():
+        _LEDGER.write_text(
+            "# Benchmark baseline ledger\n\n"
+            "One line per adopted baseline, appended by\n"
+            "`check_bench_regression.py --adopt` — the recorded step\n"
+            "behind every committed `BENCH_*.json` change.\n\n",
+            encoding="utf-8",
+        )
+    with open(_LEDGER, "a", encoding="utf-8") as handle:
+        handle.write(
+            f"- {stamp} `{baseline_file.name}` ({kind}): {summary}\n"
+        )
+    print(f"adopted {current_path} -> {baseline_file} ({summary})")
+    print(f"recorded in {_LEDGER}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly measured BENCH_engine.json")
@@ -457,7 +529,17 @@ def main(argv: list[str] | None = None) -> int:
             "the gate fails (default: %(default)s)"
         ),
     )
+    parser.add_argument(
+        "--adopt",
+        action="store_true",
+        help=(
+            "instead of gating, adopt the current report as the new "
+            "committed baseline and append a ledger entry"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.adopt:
+        return adopt(args.current, args.baseline)
     current = load_report(args.current)
     baseline = load_report(args.baseline)
     kind = report_kind(current)

@@ -205,6 +205,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--serve-workers", type=int, default=None,
+        help=(
+            "run the sharded topology: an asyncio front end routing "
+            "each graph to one of N worker processes (stable hash of "
+            "the graph name). Coalescing, single-flight builds and "
+            "LRU accounting stay shard-local; --max-pending becomes "
+            "the front end's global admission bound (default: one "
+            "threaded process, no front end)"
+        ),
+    )
+    serve.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help=(
+            "persist per-artifact access counts here on drain; the "
+            "next --serve-workers start prewarms the hottest keys "
+            "from it before traffic arrives"
+        ),
+    )
+    serve.add_argument(
         "--slow-ms", type=float, default=1000.0,
         help=(
             "slow-query threshold in milliseconds; slower requests are "
@@ -602,7 +621,12 @@ def _cmd_spread(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .obs import EventLog, parse_slo, start_metrics_server
+    from .obs import (
+        EventLog,
+        install_build_info,
+        parse_slo,
+        start_metrics_server,
+    )
     from .service import (
         ArtifactCache,
         BlockerService,
@@ -611,27 +635,19 @@ def _cmd_serve(args) -> int:
         serve,
     )
 
-    registry = default_registry(scale=args.scale)
+    edge_pairs: list[tuple[str, str]] = []
     for spec in args.edge_list:
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
             print(f"error: --edge-list expects NAME=PATH, got {spec!r}")
             return 2
-        registry.register_edge_list(name, path)
+        edge_pairs.append((name, path))
     max_bytes = (
         None if args.cache_mb is None else int(args.cache_mb * 2**20)
     )
     if args.build_workers is not None and args.build_workers < 1:
         print("error: --build-workers must be >= 1")
         return 2
-    cache = ArtifactCache(
-        registry,
-        max_entries=args.cache_entries,
-        max_bytes=max_bytes,
-        cache_dir=args.cache_dir,
-        build_workers=args.build_workers,
-    )
-    log = EventLog(json_mode=args.log_json)
     if args.max_pending is not None and args.max_pending < 0:
         print("error: --max-pending must be >= 0")
         return 2
@@ -640,6 +656,19 @@ def _cmd_serve(args) -> int:
     except ValueError as error:
         print(f"error: {error}")
         return 2
+    if args.serve_workers is not None:
+        return _cmd_serve_sharded(args, edge_pairs, max_bytes)
+    registry = default_registry(scale=args.scale)
+    for name, path in edge_pairs:
+        registry.register_edge_list(name, path)
+    cache = ArtifactCache(
+        registry,
+        max_entries=args.cache_entries,
+        max_bytes=max_bytes,
+        cache_dir=args.cache_dir,
+        build_workers=args.build_workers,
+    )
+    log = EventLog(json_mode=args.log_json)
     try:
         service = BlockerService(
             registry=registry,
@@ -653,6 +682,7 @@ def _cmd_serve(args) -> int:
     except ValueError as error:  # bad --profile-hz / duplicate --slo
         print(f"error: {error}")
         return 2
+    install_build_info(service.metrics, worker="standalone")
     if args.profile_hz is not None:
         log.event("profiler_started", hz=args.profile_hz)
     for slo in slos:
@@ -680,6 +710,80 @@ def _cmd_serve(args) -> int:
         pass
     finally:
         server.server_close()
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
+    log.event("stopped")
+    print("repro.service stopped")
+    return 0
+
+
+def _cmd_serve_sharded(
+    args, edge_pairs: list[tuple[str, str]], max_bytes: int | None
+) -> int:
+    """``serve --serve-workers N``: the two-tier sharded topology.
+
+    The listener process never loads a graph — each worker builds its
+    own registry/cache from the picklable :class:`WorkerSpec`, and the
+    ``--max-pending`` bound moves up to the front end where it caps
+    in-flight queries across every shard.
+    """
+    from .obs import EventLog, start_metrics_server
+    from .service import DEFAULT_PORT, ShardedFrontend, WorkerSpec
+
+    if args.serve_workers < 1:
+        print("error: --serve-workers must be >= 1")
+        return 2
+    log = EventLog(json_mode=args.log_json)
+    spec = WorkerSpec(
+        scale=args.scale,
+        edge_lists=tuple(edge_pairs),
+        cache_entries=args.cache_entries,
+        cache_bytes=max_bytes,
+        cache_dir=args.cache_dir,
+        build_workers=args.build_workers,
+        slow_ms=args.slow_ms,
+        profile_hz=args.profile_hz,
+        slo_specs=tuple(args.slo),
+        log_json=args.log_json,
+    )
+    frontend = ShardedFrontend(
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        workers=args.serve_workers,
+        worker_spec=spec,
+        max_pending=args.max_pending,
+        access_log=args.access_log,
+        log=log,
+    )
+    try:
+        frontend.start()
+    except (OSError, RuntimeError, ValueError) as error:
+        print(f"error: {error}")
+        return 1
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = start_metrics_server(
+            host=args.host,
+            port=args.metrics_port,
+            registry=frontend.metrics,
+            render_fn=frontend.render_metrics,
+            health_fn=frontend.health,
+        )
+        log.event(
+            "metrics_listening",
+            host=args.host,
+            port=metrics_server.port,
+        )
+    host, port = frontend.address
+    print(f"repro.service listening on {host}:{port}", flush=True)
+    log.event(
+        "listening", host=host, port=port, workers=args.serve_workers
+    )
+    try:
+        frontend.serve_forever()
+    finally:
+        frontend.shutdown()
         if metrics_server is not None:
             metrics_server.shutdown()
             metrics_server.server_close()

@@ -46,7 +46,7 @@ same registry, so the TCP protocol and the scrape endpoint can never
 disagree about what the process has done.
 """
 
-from .exposition import CONTENT_TYPE, render_text
+from .exposition import CONTENT_TYPE, merge_expositions, render_text
 from .httpd import MetricsServer, start_metrics_server
 from .logs import EventLog, NULL_LOG
 from .metrics import (
@@ -55,8 +55,10 @@ from .metrics import (
     Gauge,
     global_registry,
     Histogram,
+    install_build_info,
     install_standard_collectors,
     MetricsRegistry,
+    package_version,
     track,
     tracked,
 )
@@ -93,9 +95,12 @@ __all__ = [
     "current_trace",
     "format_trace",
     "global_registry",
+    "install_build_info",
     "install_standard_collectors",
     "iter_spans",
+    "merge_expositions",
     "new_trace",
+    "package_version",
     "parse_slo",
     "render_text",
     "span",

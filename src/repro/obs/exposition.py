@@ -14,9 +14,11 @@ the ops contract (scrapers parse them), not an implementation detail.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from .metrics import MetricsRegistry
 
-__all__ = ["CONTENT_TYPE", "render_text"]
+__all__ = ["CONTENT_TYPE", "merge_expositions", "render_text"]
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -44,6 +46,81 @@ def _format_value(value: float) -> str:
     if number == int(number) and abs(number) < 1e15:
         return str(int(number))
     return repr(number)
+
+
+def _tag_sample(line: str, label: str, tag: str) -> str:
+    """One exposition sample line with ``label="tag"`` injected first.
+
+    Works on both sample shapes (``name{a="b"} 1`` and ``name 1``);
+    the metric value is whatever follows the last space, per the
+    0.0.4 line grammar."""
+    body, _, value = line.rpartition(" ")
+    pair = f'{label}="{_escape_label_value(tag)}"'
+    if body.endswith("}"):
+        name, _, labels = body.partition("{")
+        labels = labels[:-1]
+        if f'{label}="' in labels:
+            # the process already self-labelled (build_info does);
+            # its own value wins over the aggregator's tag
+            return line
+        joined = f"{pair},{labels}" if labels else pair
+        return f"{name}{{{joined}}} {value}"
+    return f"{body}{{{pair}}} {value}"
+
+
+def merge_expositions(
+    parts: Sequence[tuple[str, str]], label: str = "worker"
+) -> str:
+    """Fold several processes' exposition pages into one.
+
+    ``parts`` is ``(tag, exposition_text)`` per process; every sample
+    line gains ``label="tag"`` as its first label so same-named series
+    from different processes stay distinct.  ``# HELP`` / ``# TYPE``
+    headers are deduplicated first-wins and each family's samples are
+    grouped under one header block (Prometheus rejects pages that
+    repeat a TYPE header), preserving first-seen family order.  This
+    is how the sharded front end serves a single scrape page covering
+    the listener and every shard worker.
+    """
+    help_lines: dict[str, str] = {}
+    type_lines: dict[str, str] = {}
+    samples: dict[str, list[str]] = {}
+    order: list[str] = []
+    for tag, text in parts:
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                kind, _, rest = line[2:].partition(" ")
+                name = rest.split(" ", 1)[0]
+                target = help_lines if kind == "HELP" else type_lines
+                target.setdefault(name, line)
+            elif line.startswith("#"):
+                continue
+            else:
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+                # histogram series (_bucket/_sum/_count) file under
+                # their family so they stay inside its header block
+                family = name
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if name.endswith(suffix) and (
+                        name[: -len(suffix)] in type_lines
+                    ):
+                        family = name[: -len(suffix)]
+                        break
+                if family not in samples:
+                    samples[family] = []
+                    order.append(family)
+                samples[family].append(_tag_sample(line, label, tag))
+    lines: list[str] = []
+    for family in order:
+        if family in help_lines:
+            lines.append(help_lines[family])
+        if family in type_lines:
+            lines.append(type_lines[family])
+        lines.extend(samples[family])
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def render_text(registry: MetricsRegistry) -> str:

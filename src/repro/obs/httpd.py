@@ -23,20 +23,16 @@ import platform
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from .exposition import CONTENT_TYPE, render_text
-from .metrics import global_registry, MetricsRegistry
+from .metrics import global_registry, MetricsRegistry, package_version
 
 __all__ = ["MetricsServer", "start_metrics_server"]
 
-
-def _package_version() -> str:
-    try:
-        from importlib.metadata import version
-
-        return version("repro-imin")
-    except Exception:  # noqa: BLE001 - not installed (src checkout)
-        return "unknown"
+# kept as an alias: this helper moved to repro.obs.metrics when the
+# build-info gauge needed it outside the HTTP listener
+_package_version = package_version
 
 
 class _MetricsHandler(BaseHTTPRequestHandler):
@@ -45,8 +41,14 @@ class _MetricsHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0]
         if path == "/metrics":
-            body = render_text(self.server.registry).encode("utf-8")
-            self._reply(200, CONTENT_TYPE, body)
+            if self.server.render_fn is not None:
+                try:
+                    text = self.server.render_fn()
+                except Exception:  # noqa: BLE001 - degrade, don't 500
+                    text = render_text(self.server.registry)
+            else:
+                text = render_text(self.server.registry)
+            self._reply(200, CONTENT_TYPE, text.encode("utf-8"))
         elif path in ("/", "/healthz"):
             health = {
                 "status": "ok",
@@ -56,8 +58,14 @@ class _MetricsHandler(BaseHTTPRequestHandler):
                     time.monotonic() - self.server.started_at, 3
                 ),
             }
+            if self.server.health_fn is not None:
+                try:
+                    health.update(self.server.health_fn())
+                except Exception:  # noqa: BLE001 - a dead supervisor
+                    health["status"] = "error"
+            status = 200 if health.get("status") == "ok" else 503
             self._reply(
-                200,
+                status,
                 "application/json; charset=utf-8",
                 json.dumps(health, separators=(",", ":")).encode()
                 + b"\n",
@@ -89,11 +97,21 @@ class MetricsServer(ThreadingHTTPServer):
         self,
         address: tuple[str, int],
         registry: MetricsRegistry,
+        render_fn: Callable[[], str] | None = None,
+        health_fn: Callable[[], dict] | None = None,
     ) -> None:
         super().__init__(address, _MetricsHandler)
         self.registry = registry
+        self.render_fn = render_fn
+        """Override for ``GET /metrics`` — how the sharded front end
+        serves the cross-process aggregated page instead of just its
+        own registry.  Falls back to the registry on any failure."""
+        self.health_fn = health_fn
+        """Extra health payload merged into ``/healthz`` — any
+        ``status`` other than ``"ok"`` turns the reply into a 503
+        (a shard down must fail the load balancer's probe)."""
         self.started_at = time.monotonic()
-        self.build_version = _package_version()
+        self.build_version = package_version()
 
     @property
     def port(self) -> int:
@@ -104,11 +122,16 @@ def start_metrics_server(
     host: str = "127.0.0.1",
     port: int = 0,
     registry: MetricsRegistry | None = None,
+    render_fn: Callable[[], str] | None = None,
+    health_fn: Callable[[], dict] | None = None,
 ) -> MetricsServer:
     """Bind and start serving (on a daemon thread); returns the server
     so callers can read the bound port and ``shutdown()`` it."""
     server = MetricsServer(
-        (host, port), registry if registry is not None else global_registry()
+        (host, port),
+        registry if registry is not None else global_registry(),
+        render_fn=render_fn,
+        health_fn=health_fn,
     )
     thread = threading.Thread(
         target=server.serve_forever,

@@ -36,6 +36,8 @@ the tracked stats objects) in :func:`global_registry`.
 from __future__ import annotations
 
 import bisect
+import os
+import platform
 import threading
 import weakref
 from typing import Callable, Iterable, Mapping, Sequence
@@ -47,7 +49,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "global_registry",
+    "install_build_info",
     "install_standard_collectors",
+    "package_version",
     "track",
     "tracked",
 ]
@@ -549,6 +553,42 @@ def install_standard_collectors(registry: MetricsRegistry) -> None:
         registry.register_callback(
             name, help_text, _sum_attr(kind, attr), kind=cb_kind
         )
+
+
+def package_version() -> str:
+    """The installed distribution version (``"unknown"`` from a plain
+    source checkout)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-imin")
+    except Exception:  # noqa: BLE001 - not installed (src checkout)
+        return "unknown"
+
+
+def install_build_info(
+    registry: MetricsRegistry, worker: str = "main"
+) -> _GaugeChild:
+    """Export the constant ``repro_build_info`` gauge (value 1).
+
+    The label set — package version, Python version, pid and a
+    ``worker`` role tag — is what lets a scrape of the sharded serving
+    topology tell the listener's series apart from each shard's after
+    :func:`repro.obs.exposition.merge_expositions` folds them into one
+    page.  Idempotent per (registry, labels)."""
+    family = registry.gauge(
+        "repro_build_info",
+        "Constant 1; build/runtime identity in the labels",
+        labels=("version", "python", "pid", "worker"),
+    )
+    child = family.labels(
+        package_version(),
+        platform.python_version(),
+        str(os.getpid()),
+        worker,
+    )
+    child.set(1.0)
+    return child
 
 
 _GLOBAL: MetricsRegistry | None = None

@@ -22,20 +22,30 @@ artifacts resident and serves many queries against them:
     against one artifact collapse into one vectorized engine call.
 :mod:`repro.service.client`
     The matching client — typed query verbs, error codes mapped to
-    typed exceptions; ``repro-imin serve`` / ``repro-imin query`` make
-    the CLI a thin shell around both.
+    typed exceptions, one bounded retry over drains and worker
+    restarts; ``repro-imin serve`` / ``repro-imin query`` make the
+    CLI a thin shell around both.
+:mod:`repro.service.frontend`
+    The scale-out tier: an asyncio listener sharding the named-graph
+    space over N worker processes (``serve --serve-workers N``), with
+    global admission control, crash supervision, graceful drain,
+    access-log prewarming and merged observability.
 """
 
 from .cache import Artifact, ArtifactCache, ArtifactKey, CacheStats
 from .client import (
     BadParamsError,
+    ConnectionLostError,
     DEFAULT_PORT,
+    DrainingError,
+    IDEMPOTENT_OPS,
     OverloadedError,
     ServiceClient,
     ServiceError,
     UnknownGraphError,
     UnknownOpError,
 )
+from .frontend import shard_for, ShardedFrontend, WorkerSpec
 from .registry import default_registry, GraphEntry, GraphRegistry
 from .server import (
     BlockerService,
@@ -63,10 +73,16 @@ __all__ = [
     "ServiceStats",
     "serve",
     "BadParamsError",
+    "ConnectionLostError",
+    "DrainingError",
+    "IDEMPOTENT_OPS",
     "OverloadedError",
     "ServiceClient",
     "ServiceError",
     "UnknownGraphError",
     "UnknownOpError",
     "DEFAULT_PORT",
+    "ShardedFrontend",
+    "WorkerSpec",
+    "shard_for",
 ]

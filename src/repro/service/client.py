@@ -27,7 +27,10 @@ from typing import Sequence
 
 __all__ = [
     "BadParamsError",
+    "ConnectionLostError",
     "DEFAULT_PORT",
+    "DrainingError",
+    "IDEMPOTENT_OPS",
     "OverloadedError",
     "ServiceClient",
     "ServiceError",
@@ -36,6 +39,14 @@ __all__ = [
 ]
 
 DEFAULT_PORT = 7727
+
+IDEMPOTENT_OPS = frozenset(
+    ("ping", "graphs", "stats", "metrics", "warm", "spread", "block")
+)
+"""Ops safe to resend after a dropped connection or a ``draining``
+reply: they either read state or converge to the same artifact/answer
+when repeated (``block`` is a deterministic function of its params).
+``shutdown`` and ``profile`` mutate and are never retried."""
 
 
 class ServiceError(RuntimeError):
@@ -68,12 +79,28 @@ class OverloadedError(ServiceError):
     and retry."""
 
 
+class DrainingError(ServiceError):
+    """v1 code ``draining``: the front end is flushing in-flight work
+    before a graceful shutdown — reconnect (a rolling restart brings a
+    fresh listener up on the same address) and retry."""
+
+
+class ConnectionLostError(ServiceError):
+    """The server closed the connection mid-request (worker restart,
+    listener drop); the client's socket has been torn down."""
+
+
 _CODE_EXCEPTIONS: dict[str, type[ServiceError]] = {
     "unknown_op": UnknownOpError,
     "unknown_graph": UnknownGraphError,
     "bad_params": BadParamsError,
     "overloaded": OverloadedError,
+    "draining": DrainingError,
 }
+
+_RETRYABLE = (DrainingError, ConnectionLostError, ConnectionError)
+"""What one bounded retry covers: an explicit drain notice, a dropped
+line, or a socket-level reset/refusal while the listener restarts."""
 
 
 def _raise_for_error(response: dict) -> None:
@@ -156,10 +183,17 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: float = 60.0,
+        retry: bool = True,
+        retry_delay: float = 0.05,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        """Retry :meth:`call` exactly once — idempotent ops only — on
+        a connection reset or a ``draining`` reply, so rolling drains
+        and worker restarts don't surface as raw socket errors."""
+        self.retry_delay = retry_delay
         self._sock: socket.socket | None = None
         self._reader = None
 
@@ -209,17 +243,33 @@ class ServiceClient:
         line = self._reader.readline()
         if not line:
             self.close()
-            raise ServiceError(
+            raise ConnectionLostError(
                 f"server at {self.host}:{self.port} closed the connection"
             )
         return json.loads(line)
 
     def call(self, op: str, **params):
         """Send one request; return its ``result`` or raise the typed
-        exception matching the server's error code."""
-        response = self.request(op, **params)
-        if not response.get("ok"):
-            _raise_for_error(response)
+        exception matching the server's error code.
+
+        When :attr:`retry` is set (the default) and ``op`` is in
+        :data:`IDEMPOTENT_OPS`, a connection reset or a ``draining``
+        reply is retried exactly once against the same address after
+        :attr:`retry_delay` seconds on a fresh connection — the window
+        a rolling drain or a crashed-worker restart needs.  The retry
+        is bounded at one: persistent failure still raises."""
+        try:
+            response = self.request(op, **params)
+            if not response.get("ok"):
+                _raise_for_error(response)
+        except _RETRYABLE:
+            if not (self.retry and op in IDEMPOTENT_OPS):
+                raise
+            self.close()
+            time.sleep(self.retry_delay)
+            response = self.request(op, **params)
+            if not response.get("ok"):
+                _raise_for_error(response)
         return response.get("result")
 
     # ------------------------------------------------------------------

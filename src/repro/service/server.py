@@ -144,8 +144,12 @@ ERROR_CODES = (
     "bad_params",
     "overloaded",
     "internal",
+    "draining",
 )
-"""Stable machine-readable error codes of the v1 envelope."""
+"""Stable machine-readable error codes of the v1 envelope
+(append-only).  ``draining`` is sent by the sharded front end
+(:mod:`repro.service.frontend`) while it flushes in-flight requests
+during a graceful shutdown — clients should reconnect and retry."""
 
 DEFAULTS = {
     "graph": "toy",

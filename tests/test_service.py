@@ -700,7 +700,9 @@ class TestWireProtocolV1:
     def test_protocol_constants_are_stable(self):
         from repro.service import ERROR_CODES, PROTOCOL_VERSION
 
-        # golden: changing either is a wire-compatibility break
+        # golden: changing either is a wire-compatibility break; the
+        # tuple is append-only (draining joined with the sharded
+        # front end)
         assert PROTOCOL_VERSION == 1
         assert ERROR_CODES == (
             "unknown_op",
@@ -708,6 +710,7 @@ class TestWireProtocolV1:
             "bad_params",
             "overloaded",
             "internal",
+            "draining",
         )
 
     def test_typed_exceptions_over_tcp(self, running_server):
