@@ -50,6 +50,16 @@ Three report kinds, auto-detected:
     is bit-identity or it is a bug.  The warm steady-state query
     latency is reported but not gated (the sketch-query report
     already covers that path).
+``BENCH_graph_updates.json`` (``bench_graph_updates.py --json``)
+    Gates ``delta_speedup_vs_rebuild`` — time to the next answer after
+    a batched graph mutation through ``SketchIndex.apply_delta``
+    (patch the pooled samples, rebuild only touched trees) normalized
+    by the cold rebuild over the same mutated graph measured in the
+    same run, at the ladder's 0.1%-of-edges rung.  Fails hard if the
+    report says any rung's delta-applied index diverged from its cold
+    rebuild: the incremental path is bit-identity or it is a bug.
+    The other rungs are reported but not gated (the same mechanism at
+    easier or harder delta sizes).
 
 In every case the gated number is a *ratio of two same-run
 measurements*: raw ms differ wildly between the machine that committed
@@ -163,6 +173,17 @@ _MMAP_IDENTITY_PARAMS = (
     "repeats",
 )
 
+# and for the graph-update report (delta ladder vs cold rebuild)
+_GRAPH_UPDATES_IDENTITY_PARAMS = (
+    "n",
+    "attach",
+    "theta",
+    "seeds",
+    "rng",
+    "fractions",
+    "workers",
+)
+
 
 def _die(message: str) -> None:
     print(message, file=sys.stderr)
@@ -182,6 +203,8 @@ def report_kind(report: dict) -> str | None:
         return "sketch_query"
     if "rehydrate_speedup_vs_cold" in report:
         return "mmap_artifacts"
+    if "delta_speedup_vs_rebuild" in report:
+        return "graph_updates"
     return None
 
 
@@ -195,8 +218,9 @@ def load_report(path: str | Path) -> dict:
         _die(
             f"error: {path} is not a BENCH_engine.json, "
             "BENCH_service.json, BENCH_service_saturation.json, "
-            "BENCH_sketch_build.json, BENCH_sketch_query.json or "
-            "BENCH_mmap_artifacts.json report"
+            "BENCH_sketch_build.json, BENCH_sketch_query.json, "
+            "BENCH_mmap_artifacts.json or BENCH_graph_updates.json "
+            "report"
         )
     return report
 
@@ -447,6 +471,50 @@ def compare_mmap_artifacts(
     return failures, lines
 
 
+def compare_graph_updates(
+    current: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Graph-update-report gate vs the baseline.
+
+    Gates ``delta_speedup_vs_rebuild``: both sides of the ratio — the
+    incremental ``apply_delta`` path and the cold rebuild over the
+    same mutated graph — are measured in one process in one run, so
+    machine speed cancels.  A report with ``identical: false`` fails
+    unconditionally — a delta-applied index that diverges from the
+    cold rebuild breaks the incremental path's bit-identity contract.
+    """
+    _check_params(current, baseline, _GRAPH_UPDATES_IDENTITY_PARAMS)
+    failures: list[str] = []
+    lines: list[str] = []
+    if not current.get("identical", False):
+        failures.append("identical")
+        lines.append(
+            "FAIL identical: delta-applied index diverges from the "
+            "cold rebuild"
+        )
+    metric = "delta_speedup_vs_rebuild"
+    base_speed = float(baseline[metric])
+    cur_speed = float(current[metric])
+    floor = (1.0 - tolerance) * base_speed
+    verdict = "ok" if cur_speed >= floor else "FAIL"
+    lines.append(
+        f"{verdict:<5}{metric:<30} baseline {base_speed:7.2f}x  "
+        f"current {cur_speed:7.2f}x  floor {floor:7.2f}x"
+    )
+    for rung in current.get("rungs", []):
+        lines.append(
+            f"      rung {100 * rung.get('fraction', 0):g}% "
+            f"({rung.get('edits', '?')} edits): "
+            f"{rung.get('speedup', '?')}x, touched "
+            f"{rung.get('touched_samples', '?')} samples, rebuilt "
+            f"{rung.get('trees_rebuilt', '?')} trees "
+            "(informational, not gated)"
+        )
+    if cur_speed < floor:
+        failures.append(metric)
+    return failures, lines
+
+
 # the headline number a ledger entry records per report kind
 _GATED_METRIC = {
     "engine": "backends",
@@ -455,6 +523,7 @@ _GATED_METRIC = {
     "sketch_build": "build_speedup_vs_legacy",
     "sketch_query": "select_speedup_vs_legacy",
     "mmap_artifacts": "rehydrate_speedup_vs_cold",
+    "graph_updates": "delta_speedup_vs_rebuild",
 }
 
 _LEDGER = Path("benchmarks/BASELINES.md")
@@ -573,6 +642,11 @@ def main(argv: list[str] | None = None) -> int:
             current, baseline, args.tolerance
         )
         metric = "rehydrate speedup vs cold build"
+    elif kind == "graph_updates":
+        failures, lines = compare_graph_updates(
+            current, baseline, args.tolerance
+        )
+        metric = "delta speedup vs cold rebuild"
     else:
         failures, lines = compare(current, baseline, args.tolerance)
         metric = "speedup vs scalar"

@@ -139,6 +139,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "bench_service_latency.py",
         ),
         Experiment(
+            "graph-updates", "(extension)",
+            "incremental delta apply vs cold rebuild on edge mutations",
+            "bench_graph_updates.py",
+        ),
+        Experiment(
             "service-saturation", "(extension)",
             "client-ladder saturation knee, shed/coalescing telemetry, "
             "and sampling-profiler overhead",

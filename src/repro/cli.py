@@ -12,6 +12,9 @@ Subcommands
     Run the long-lived blocker-query service (``repro.service``).
 ``query``
     Send one request to a running service and print the JSON reply.
+``update``
+    Apply a batched graph delta (insert/delete/reweight edges) to a
+    running service's warm artifact — patched in place, not rebuilt.
 ``profile``
     Sample a running service's wall-clock for a few seconds and write
     the collapsed stacks (flamegraph.pl / speedscope input).
@@ -26,6 +29,7 @@ Examples
     repro-imin spread --dataset facebook --model wc --seeds 3 --rng 1
     repro-imin serve --port 7727 &
     repro-imin query block --graph toy --budget 2
+    repro-imin update --graph toy --insert 0:5:0.3 --delete 1:2 --seq 1
     repro-imin query shutdown
 """
 
@@ -312,6 +316,57 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    update = sub.add_parser(
+        "update",
+        help=(
+            "apply a batched graph delta (insert/delete/reweight "
+            "edges) to a running service's warm artifact"
+        ),
+    )
+    update.add_argument("--host", default="127.0.0.1")
+    update.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port of the service (default: 7727)",
+    )
+    update.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="socket timeout in seconds (default: 60)",
+    )
+    update.add_argument(
+        "--graph", default=None, help="registered graph name"
+    )
+    update.add_argument("--model", choices=("tr", "wc"), default=None)
+    update.add_argument("--theta", type=int, default=None)
+    update.add_argument(
+        "--layout", choices=("arena", "legacy"), default=None,
+        help="sketch view layout of the artifact (default: arena)",
+    )
+    update.add_argument(
+        "--seed", type=int, default=None,
+        help="artifact seed: keys the samples and the TR assignment",
+    )
+    update.add_argument(
+        "--insert", action="append", default=[], metavar="U:V:P",
+        help="edge (u, v) to insert with probability p; repeatable",
+    )
+    update.add_argument(
+        "--delete", action="append", default=[], metavar="U:V",
+        help="edge (u, v) to remove; repeatable",
+    )
+    update.add_argument(
+        "--reweight", action="append", default=[], metavar="U:V:P",
+        help="existing edge whose probability becomes p; repeatable",
+    )
+    update.add_argument(
+        "--seq", type=int, default=None,
+        help=(
+            "monotone sequence number for exactly-once delivery: the "
+            "server applies each seq at most once and acknowledges a "
+            "duplicate with applied=false, so resending after a "
+            "dropped connection is safe"
+        ),
+    )
+
     profile = sub.add_parser(
         "profile",
         help=(
@@ -452,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "update":
+        return _cmd_update(args)
     if args.command == "profile":
         return _cmd_profile(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -843,6 +900,54 @@ def _cmd_query(args) -> int:
     if trace_dict is not None:
         print(format_trace(trace_dict))
     return 0 if response.get("ok") else 1
+
+
+def _parse_edge(spec: str, with_prob: bool):
+    """``U:V`` / ``U:V:P`` -> an edge tuple for the update op."""
+    parts = spec.split(":")
+    expected = 3 if with_prob else 2
+    if len(parts) != expected:
+        raise ValueError(
+            f"expected {'U:V:P' if with_prob else 'U:V'}, got {spec!r}"
+        )
+    u, v = int(parts[0]), int(parts[1])
+    return (u, v, float(parts[2])) if with_prob else (u, v)
+
+
+def _cmd_update(args) -> int:
+    """Round-trip the ``update`` op: one batched delta, one reply."""
+    from .service import DEFAULT_PORT, ServiceClient, ServiceError
+
+    try:
+        inserts = [_parse_edge(s, True) for s in args.insert]
+        deletes = [_parse_edge(s, False) for s in args.delete]
+        reweights = [_parse_edge(s, True) for s in args.reweight]
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    if not (inserts or deletes or reweights):
+        print("error: pass at least one --insert/--delete/--reweight")
+        return 2
+    port = DEFAULT_PORT if args.port is None else args.port
+    client = ServiceClient(args.host, port, timeout=args.timeout)
+    try:
+        with client:
+            result = client.update(
+                graph=args.graph,
+                model=args.model,
+                theta=args.theta,
+                seed=args.seed,
+                layout=args.layout,
+                inserts=inserts or None,
+                deletes=deletes or None,
+                reweights=reweights or None,
+                seq=args.seq,
+            )
+    except (OSError, ServiceError) as error:
+        print(json.dumps({"ok": False, "error": f"{error}"}, indent=2))
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_profile(args) -> int:

@@ -196,6 +196,20 @@ class PooledEvaluator(_EvaluatorLifecycle):
         self.csr = self.pool.csr
         self.batch_size = batch_size
 
+    def apply_delta(self, delta):
+        """Patch the pool for a batch of edge mutations
+        (:meth:`~repro.engine.pool.SamplePool.apply_delta`) and refresh
+        this evaluator's CSR snapshot.  Returns the pool's report."""
+        report = self.pool.apply_delta(delta)
+        self.refresh_graph()
+        return report
+
+    def refresh_graph(self) -> None:
+        """Re-read the pool's CSR after someone else applied a delta
+        to the shared pool (e.g. a sketch index sharing it) — the
+        cached snapshot would otherwise disagree with the samples."""
+        self.csr = self.pool.csr
+
     def expected_spread(
         self,
         seeds: Sequence[int],

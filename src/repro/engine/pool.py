@@ -32,14 +32,67 @@ from pathlib import Path
 
 import numpy as np
 
-from ..graph import CSRGraph, DiGraph
+from ..graph import CSRGraph, DiGraph, GraphDelta
 from ..obs import span, track
 from ..rng import ensure_rng, RngLike
 
-__all__ = ["SampleBatch", "SamplePool", "PoolStats"]
+__all__ = ["PoolDeltaReport", "SampleBatch", "SamplePool", "PoolStats"]
 
-# cap on the (chunk, m) coin matrix drawn per generation step
+# cap on the (chunk, m) hash matrix materialised per generation step
 _COIN_CELL_BUDGET = 8_000_000
+
+# tag mixed into the disk fingerprint: bump when the coin scheme
+# changes so a persisted pool can never attach under a different
+# sample distribution
+_COIN_SCHEME = "coins2"
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_A = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_B = np.uint64(0x94D049BB133111EB)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (a bijection on uint64)."""
+    x = x.astype(np.uint64, copy=True)
+    x ^= x >> np.uint64(30)
+    x *= _MIX_A
+    x ^= x >> np.uint64(27)
+    x *= _MIX_B
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def _edge_keys(root: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Stable per-edge stream keys: a pure function of ``(root, u, v)``.
+
+    Independent of the edge's CSR position, the graph's edge count and
+    the pool's growth history — the property that makes delta patching
+    bit-identical to regeneration: an edge keeps its coin stream
+    through any sequence of surrounding inserts and deletes.
+    """
+    h = _mix64(np.full(src.shape, np.uint64(root), dtype=np.uint64))
+    h = _mix64(h ^ (src.astype(np.uint64) + np.uint64(1)))
+    h = _mix64(h ^ ((dst.astype(np.uint64) + np.uint64(1)) * _GOLDEN))
+    return h
+
+
+def _thresholds(probs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``p`` as a uint64 survival threshold: alive iff ``h < thr``.
+
+    ``P(h < floor(p * 2^64)) = p`` up to one part in ``2^64`` for a
+    uniform ``h``.  Probabilities so close to 1 that ``p * 2^64``
+    rounds to ``2^64`` (including exactly 1.0) are returned in the
+    ``sure`` mask and survive unconditionally.
+    """
+    thr_f = np.ldexp(probs.astype(np.float64, copy=False), 64)
+    sure = thr_f >= np.float64(2.0**64)
+    thr = np.where(sure, 0.0, thr_f).astype(np.uint64)
+    return thr, sure
+
+
+def _sample_counters(lo: int, hi: int) -> np.ndarray:
+    """Per-sample counter increments for samples ``lo .. hi-1``."""
+    return np.arange(lo + 1, hi + 1, dtype=np.uint64) * _GOLDEN
 
 
 @dataclass
@@ -56,6 +109,10 @@ class PoolStats:
     """Times a persisted pool was attached from ``cache_dir``."""
     disk_saves: int = 0
     """Times the pool was persisted to ``cache_dir``."""
+    deltas: int = 0
+    """Graph deltas applied in place (:meth:`SamplePool.apply_delta`)."""
+    delta_touched: int = 0
+    """Total samples whose survived-edge set a delta changed."""
 
     def __post_init__(self) -> None:
         # re-register into the shared metrics registry: the attribute
@@ -70,6 +127,8 @@ class PoolStats:
             "generated": self.generated,
             "disk_loads": self.disk_loads,
             "disk_saves": self.disk_saves,
+            "deltas": self.deltas,
+            "delta_touched": self.delta_touched,
         }
 
 
@@ -134,6 +193,24 @@ class SampleBatch:
         return int(self.offsets.nbytes + self.positions.nbytes)
 
 
+@dataclass(frozen=True)
+class PoolDeltaReport:
+    """What one :meth:`SamplePool.apply_delta` actually changed."""
+
+    touched: np.ndarray
+    """Sorted unique ids of samples whose survived-edge set changed —
+    exactly the trees a sketch over this pool must rebuild."""
+    theta: int
+    """Samples materialised when the delta was applied."""
+    inserts: int
+    deletes: int
+    reweights: int
+
+    @property
+    def touched_count(self) -> int:
+        return int(self.touched.shape[0])
+
+
 class SamplePool:
     """Growing, optionally disk-backed pool of live-edge samples.
 
@@ -162,11 +239,13 @@ class SamplePool:
         cache_key: str | None = None,
     ) -> None:
         self.csr = graph if isinstance(graph, CSRGraph) else CSRGraph(graph)
-        # sample i is a pure function of (root, chunk layout): chunk k
-        # is drawn from SeedSequence((root, k)), so a pool attached
-        # from disk continues with fresh worlds — never replays the
-        # persisted prefix — and any two processes sharing a seed
-        # materialise identical pools regardless of growth history.
+        # edge (u, v)'s coin in sample t is a pure function of
+        # (root, u, v, t): a counter-based splitmix64 stream keyed by
+        # the stable edge identity.  A pool attached from disk
+        # continues bit-identically, any two processes sharing a seed
+        # materialise identical pools regardless of growth history,
+        # and a graph delta can re-decide exactly the affected edges
+        # (same hash, new threshold) without touching any other coin.
         self._root = int(ensure_rng(rng).integers(2**63))
         self._chunk = max(1, _COIN_CELL_BUDGET // max(self.csr.m, 1))
         self.stats = PoolStats()
@@ -175,17 +254,30 @@ class SamplePool:
         self._positions = np.zeros(0, dtype=np.int64)
         if cache_key is None and isinstance(rng, int):
             cache_key = f"seed{rng}"
+        self._cache_key = cache_key
+        self._cache_dir = None if cache_dir is None else Path(cache_dir)
         self._cache_paths: tuple[Path, Path] | None = None
         self._cache_digest: str | None = None
-        if cache_dir is not None and cache_key is not None:
-            digest = self._fingerprint(cache_key)
-            base = Path(cache_dir)
-            self._cache_digest = digest
-            self._cache_paths = (
-                base / f"pool-{digest}.offsets.npy",
-                base / f"pool-{digest}.positions.npy",
-            )
+        self._rekey()
+        if self._cache_paths is not None:
             self._try_attach()
+
+    def _rekey(self) -> None:
+        """(Re)derive the disk identity from the current graph content.
+
+        Called at construction and again after every applied delta —
+        the fingerprint hashes the live CSR arrays, so a mutated graph
+        always maps to a fresh ``pool-<digest>`` pair and can never
+        rehydrate a stale pre-delta pool.
+        """
+        if self._cache_dir is None or self._cache_key is None:
+            return
+        digest = self._fingerprint(self._cache_key)
+        self._cache_digest = digest
+        self._cache_paths = (
+            self._cache_dir / f"pool-{digest}.offsets.npy",
+            self._cache_dir / f"pool-{digest}.positions.npy",
+        )
 
     # ------------------------------------------------------------------
     # public surface
@@ -242,36 +334,272 @@ class SamplePool:
         )
 
     # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def _edge_positions(self, edges) -> np.ndarray:
+        """CSR positions of ``(u, v)`` pairs; raises on a missing edge."""
+        indptr = self.csr.indptr
+        indices = self.csr.indices
+        out = np.empty(len(edges), dtype=np.int64)
+        for i, (u, v) in enumerate(edges):
+            row = indices[indptr[u]: indptr[u + 1]]
+            hits = np.nonzero(row == v)[0]
+            if hits.shape[0] == 0:
+                raise ValueError(f"no edge ({u}, {v}) in the graph")
+            out[i] = indptr[u] + hits[0]
+        return out
+
+    def apply_delta(self, delta: GraphDelta) -> PoolDeltaReport:
+        """Patch the pooled samples for a batch of edge mutations.
+
+        The patched pool is **bit-identical** to regenerating a fresh
+        pool (same seed) over the mutated graph: unaffected edges keep
+        their coin stream untouched, reweighted edges re-decide the
+        *same* per-sample hash against the new threshold, inserted
+        edges decide theirs for the first time, and deleted edges drop
+        out.  Cost is O(pool nnz + |delta| * theta) — independent of
+        the edge count ``m`` that a from-scratch regeneration pays.
+
+        The pool's CSR is swapped for the post-delta layout (deletes
+        compact their row, reweights keep their slot, inserts append
+        in delta order — exactly ``CSRGraph`` construction order over
+        the mutated :class:`~repro.graph.DiGraph`), and a persisted
+        pool is re-fingerprinted from the new content and re-saved, so
+        a later process building over the mutated graph attaches these
+        patched arrays instead of resampling.
+        """
+        with span("pool.delta"):
+            return self._apply_delta(delta)
+
+    def _apply_delta(self, delta: GraphDelta) -> PoolDeltaReport:
+        csr = self.csr
+        n, m = csr.n, csr.m
+        top = delta.max_vertex()
+        if top >= n:
+            raise ValueError(
+                f"vertex {top} out of range for graph with {n} vertices"
+            )
+        for u, v, _ in delta.inserts:
+            row = csr.indices[csr.indptr[u]: csr.indptr[u + 1]]
+            if np.any(row == v):
+                raise ValueError(
+                    f"cannot insert existing edge ({u}, {v}) — use a "
+                    "reweight"
+                )
+        del_pos = self._edge_positions(
+            [(u, v) for u, v in delta.deletes]
+        )
+        rew_pos = self._edge_positions(
+            [(u, v) for u, v, _ in delta.reweights]
+        )
+        n_ins = len(delta.inserts)
+        ins_u = np.array(
+            [u for u, _, _ in delta.inserts], dtype=np.int64
+        )
+        ins_v = np.array(
+            [v for _, v, _ in delta.inserts], dtype=np.int64
+        )
+        ins_p = np.array(
+            [p for _, _, p in delta.inserts], dtype=np.float64
+        )
+        rew_p = np.array(
+            [p for _, _, p in delta.reweights], dtype=np.float64
+        )
+
+        # -- post-delta CSR layout + old -> new position remap --------
+        keep = np.ones(m, dtype=bool)
+        keep[del_pos] = False
+        counts_old = np.diff(csr.indptr)
+        del_counts = np.bincount(
+            csr.src[del_pos], minlength=n
+        ) if del_pos.size else np.zeros(n, dtype=np.int64)
+        ins_counts = np.bincount(
+            ins_u, minlength=n
+        ) if n_ins else np.zeros(n, dtype=np.int64)
+        kept_counts = counts_old - del_counts
+        new_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(kept_counts + ins_counts, out=new_indptr[1:])
+        prefix = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(keep.astype(np.int64), out=prefix[1:])
+        remap = np.full(m, -1, dtype=np.int64)
+        kept_j = np.nonzero(keep)[0]
+        rows = csr.src[kept_j]
+        remap[kept_j] = (
+            new_indptr[rows]
+            + prefix[kept_j + 1] - 1 - prefix[csr.indptr[rows]]
+        )
+        # inserts append to their row in delta order
+        ins_pos = np.empty(n_ins, dtype=np.int64)
+        next_slot = (new_indptr[:-1] + kept_counts).copy()
+        for i in range(n_ins):
+            u = int(ins_u[i])
+            ins_pos[i] = next_slot[u]
+            next_slot[u] += 1
+        new_m = m - del_pos.size + n_ins
+        new_indices = np.empty(new_m, dtype=csr.indices.dtype)
+        new_probs = np.empty(new_m, dtype=np.float64)
+        new_indices[remap[kept_j]] = csr.indices[kept_j]
+        new_probs[remap[kept_j]] = csr.probs[kept_j]
+        if rew_pos.size:
+            new_probs[remap[rew_pos]] = rew_p
+        if n_ins:
+            new_indices[ins_pos] = ins_v
+            new_probs[ins_pos] = ins_p
+        new_csr = CSRGraph.from_arrays(
+            new_indptr, new_indices, new_probs
+        )
+
+        # -- re-decide exactly the affected coins ---------------------
+        theta = self._theta
+        offsets = np.asarray(self._offsets)
+        positions = np.asarray(self._positions)
+        rew_mask = np.zeros(m, dtype=bool)
+        rew_mask[rew_pos] = True
+        entry_keep = keep[positions] & ~rew_mask[positions]
+        sample_ids = np.repeat(
+            np.arange(theta, dtype=np.int64),
+            np.diff(offsets).astype(np.int64),
+        )
+        kept_samples = sample_ids[entry_keep]
+        kept_newpos = remap[positions[entry_keep]]
+        # samples that lose a live deleted edge are touched outright
+        deleted_live = sample_ids[~keep[positions]]
+
+        # reweights + inserts: hash once per (edge, sample); the
+        # reweighted edges' *old* coins are recomputed the same way
+        # instead of scanned out of the pool (same stream, old
+        # threshold — bit-identical by construction), so a reweight
+        # only touches samples whose survival actually flips
+        delta_keys = np.concatenate([
+            _edge_keys(
+                self._root, csr.src[rew_pos], csr.indices[rew_pos]
+            ) if rew_pos.size else np.zeros(0, dtype=np.uint64),
+            _edge_keys(self._root, ins_u, ins_v)
+            if n_ins else np.zeros(0, dtype=np.uint64),
+        ])
+        delta_newpos = np.concatenate([
+            remap[rew_pos] if rew_pos.size
+            else np.zeros(0, dtype=np.int64),
+            ins_pos,
+        ])
+        new_thr, new_sure = _thresholds(
+            np.concatenate([rew_p, ins_p])
+        )
+        # inserts were absent before, so their "old" threshold is 0
+        old_thr, old_sure = _thresholds(np.concatenate([
+            csr.probs[rew_pos] if rew_pos.size
+            else np.zeros(0, dtype=np.float64),
+            np.zeros(n_ins, dtype=np.float64),
+        ]))
+        add_samples = np.zeros(0, dtype=np.int64)
+        add_pos = np.zeros(0, dtype=np.int64)
+        flipped = np.zeros(0, dtype=np.int64)
+        if delta_keys.size and theta:
+            counters = _sample_counters(0, theta)
+            step = max(1, _COIN_CELL_BUDGET // theta)
+            adds_s: list[np.ndarray] = []
+            adds_p: list[np.ndarray] = []
+            flips: list[np.ndarray] = []
+            for lo in range(0, delta_keys.size, step):
+                hi = min(lo + step, delta_keys.size)
+                h = _mix64(
+                    delta_keys[lo:hi, None] + counters[None, :]
+                )
+                alive = (h < new_thr[lo:hi, None]) | new_sure[
+                    lo:hi, None
+                ]
+                was = (h < old_thr[lo:hi, None]) | old_sure[
+                    lo:hi, None
+                ]
+                e_idx, t_idx = np.nonzero(alive)
+                adds_s.append(t_idx.astype(np.int64, copy=False))
+                adds_p.append(delta_newpos[lo:hi][e_idx])
+                flips.append(
+                    np.nonzero(np.any(alive != was, axis=0))[0].astype(
+                        np.int64, copy=False
+                    )
+                )
+            add_samples = np.concatenate(adds_s)
+            add_pos = np.concatenate(adds_p)
+            flipped = np.concatenate(flips)
+
+        report_touched = np.unique(
+            np.concatenate([deleted_live, flipped])
+        )
+
+        # -- merge kept entries with additions, sorted per sample -----
+        # kept entries are already (sample, position)-sorted because
+        # the remap is order-preserving; only the additions need a
+        # sort, and they are tiny relative to the pool
+        if add_samples.size:
+            order = np.lexsort((add_pos, add_samples))
+            add_samples = add_samples[order]
+            add_pos = add_pos[order]
+        stride = np.int64(max(new_m, 1))
+        kept_keys = kept_samples * stride + kept_newpos
+        add_keys = add_samples * stride + add_pos
+        total = kept_keys.size + add_keys.size
+        new_positions = np.empty(total, dtype=np.int64)
+        at_kept = np.arange(kept_keys.size, dtype=np.int64)
+        at_kept += np.searchsorted(add_keys, kept_keys, side="left")
+        at_add = np.arange(add_keys.size, dtype=np.int64)
+        at_add += np.searchsorted(kept_keys, add_keys, side="right")
+        new_positions[at_kept] = kept_newpos
+        new_positions[at_add] = add_pos
+        counts = np.bincount(
+            kept_samples, minlength=theta
+        ) + np.bincount(add_samples, minlength=theta)
+        new_offsets = np.zeros(theta + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_offsets[1:])
+
+        # -- swap state and re-key the persisted artifact -------------
+        self.csr = new_csr
+        self._chunk = max(1, _COIN_CELL_BUDGET // max(new_m, 1))
+        self._offsets = new_offsets
+        self._positions = new_positions
+        self.stats.deltas += 1
+        self.stats.delta_touched += int(report_touched.shape[0])
+        old_digest = self._cache_digest
+        self._rekey()
+        if (
+            self._cache_paths is not None
+            and theta
+            and self._cache_digest != old_digest
+        ):
+            self._persist()
+        return PoolDeltaReport(
+            touched=report_touched,
+            theta=theta,
+            inserts=n_ins,
+            deletes=int(del_pos.size),
+            reweights=int(rew_pos.size),
+        )
+
+    # ------------------------------------------------------------------
     # generation
     # ------------------------------------------------------------------
     def _grow(self, extra: int) -> None:
         m = self.csr.m
-        probs = self.csr.probs
         chunk = self._chunk
         target = self._theta + extra
-        chunks_pos: list[np.ndarray] = [self._positions]
+        chunks_pos: list[np.ndarray] = [np.asarray(self._positions)]
         chunks_counts: list[np.ndarray] = []
-        for k in range(self._theta // chunk, (target - 1) // chunk + 1):
-            # regenerate chunk k in full (cheap, bounded by one chunk)
-            # and keep only the sample window this growth step needs —
-            # the price of content that is independent of call history
-            lo = max(self._theta - k * chunk, 0)
-            hi = min(target - k * chunk, chunk)
+        keys = _edge_keys(self._root, self.csr.src, self.csr.indices)
+        thr, sure = _thresholds(self.csr.probs)
+        for lo in range(self._theta, target, chunk):
+            # one (window, m) hash matrix per step, bounded by the
+            # cell budget; sample content is per-(edge, sample) and
+            # never depends on the window boundaries
+            hi = min(lo + chunk, target)
             if m:
-                gen = np.random.default_rng(
-                    np.random.SeedSequence((self._root, k))
+                h = _mix64(
+                    keys[None, :] + _sample_counters(lo, hi)[:, None]
                 )
-                coins = gen.random((chunk, m)) < probs
+                coins = (h < thr) | sure
                 rows, pos = np.nonzero(coins)
-                counts = np.bincount(rows, minlength=chunk)
-                offsets = np.zeros(chunk + 1, dtype=np.int64)
-                np.cumsum(counts, out=offsets[1:])
-                chunks_pos.append(
-                    pos[offsets[lo]: offsets[hi]].astype(
-                        np.int64, copy=False
-                    )
-                )
-                chunks_counts.append(counts[lo:hi])
+                counts = np.bincount(rows, minlength=hi - lo)
+                chunks_pos.append(pos.astype(np.int64, copy=False))
+                chunks_counts.append(counts.astype(np.int64, copy=False))
             else:
                 chunks_counts.append(np.zeros(hi - lo, dtype=np.int64))
         counts = np.concatenate(chunks_counts)
@@ -290,7 +618,9 @@ class SamplePool:
     def _fingerprint(self, cache_key: str) -> str:
         csr = self.csr
         digest = hashlib.sha256()
-        digest.update(f"{csr.n}:{csr.m}:{cache_key}".encode())
+        digest.update(
+            f"{csr.n}:{csr.m}:{_COIN_SCHEME}:{cache_key}".encode()
+        )
         digest.update(np.ascontiguousarray(csr.indptr).tobytes())
         digest.update(np.ascontiguousarray(csr.indices).tobytes())
         digest.update(np.ascontiguousarray(csr.probs).tobytes())

@@ -82,11 +82,11 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..graph import CSRGraph, DiGraph
-from ..obs import span, track
+from ..graph import CSRGraph, DiGraph, GraphDelta
+from ..obs import global_registry, span, track
 from ..rng import RngLike
 from .kernels import postings_csr, ragged_arange
-from .pool import SampleBatch, SamplePool
+from .pool import PoolDeltaReport, SampleBatch, SamplePool
 from .treebuild import TreeBuilder
 
 __all__ = ["SketchIndex", "SketchStats", "LAYOUTS"]
@@ -155,6 +155,16 @@ class SketchStats:
     tree build."""
     persists: int = 0
     """Arena views serialized to the artifact cache directory."""
+    deltas: int = 0
+    """Graph deltas applied through :meth:`SketchIndex.apply_delta` —
+    each one patched the pool and rebased the cached views in place
+    instead of cold-rebuilding the index."""
+    delta_trees_rebuilt: int = 0
+    """Dominator trees rebuilt by graph-delta rebases (summed over
+    views; the incremental cost actually paid)."""
+    delta_samples_skipped: int = 0
+    """Samples graph-delta rebases left untouched (summed over views;
+    the incremental win)."""
 
     def __post_init__(self) -> None:
         # re-register into the shared metrics registry: attributes stay
@@ -174,7 +184,47 @@ class SketchStats:
             "postings_bytes": self.postings_bytes,
             "rehydrations": self.rehydrations,
             "persists": self.persists,
+            "deltas": self.deltas,
+            "delta_trees_rebuilt": self.delta_trees_rebuilt,
+            "delta_samples_skipped": self.delta_samples_skipped,
         }
+
+
+def _delta_metrics():
+    """The explicit ``repro_delta_*`` instruments (get-or-create).
+
+    Created lazily so importing this module never populates the global
+    registry; the per-apply duration is already covered by the
+    ``sketch.delta`` / ``pool.delta`` span histograms.
+    """
+    registry = global_registry()
+    touched = registry.histogram(
+        "repro_delta_touched_samples",
+        "Pooled samples whose survived-edge set one graph delta "
+        "changed (the trees a sketch must rebuild)",
+        buckets=(0.0, 1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0),
+    )
+    rebuilt = registry.counter(
+        "repro_delta_trees_rebuilt_total",
+        "Dominator trees rebuilt by incremental graph-delta rebases",
+    )
+    return touched, rebuilt
+
+
+def _delta_sources(delta: GraphDelta) -> list[int]:
+    """Source vertices of every edge the delta names, sorted.
+
+    A changed edge can only alter a sample's reachable set if its
+    *source* is reachable in that sample before the delta (the first
+    newly traversed delta edge must hang off the old reachable set;
+    a removed edge only mattered if it was traversed) — so postings
+    rows of these vertices bound the trees a delta can touch.
+    """
+    return sorted(
+        {u for u, _, _ in delta.inserts}
+        | {u for u, _ in delta.deletes}
+        | {u for u, _, _ in delta.reweights}
+    )
 
 
 class _LegacySketchView:
@@ -301,6 +351,49 @@ class _LegacySketchView:
                 self.stats.rebases += 1
                 self._sync_bytes()
             self.stats.samples_skipped += self.theta - len(touched)
+
+    # ------------------------------------------------------------------
+    # graph deltas: swap the graph under the view, rebuild few trees
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        csr: CSRGraph,
+        batch: SampleBatch,
+        touched: np.ndarray,
+        builder: TreeBuilder,
+        delta: GraphDelta,
+    ) -> int:
+        """Move this view onto the post-delta graph and samples.
+
+        Caller contract (:meth:`SketchIndex.apply_delta`): the view
+        was parked at the unblocked base while the *old* pool state
+        was live, and ``touched`` is the pool's exact changed-sample
+        set for this view's theta prefix.  Narrowed further by the
+        source-reachability test of :func:`_delta_sources`, then only
+        the surviving samples' trees are rebuilt.  Returns how many.
+        """
+        sources = _delta_sources(delta)
+        keep = [
+            int(t)
+            for t in touched
+            if any(u in self._base_reachable[t] for u in sources)
+        ]
+        self.csr = csr
+        self.batch = batch
+        self.builder = builder
+        if keep:
+            for t, (order, sizes) in zip(
+                keep, self._build(keep, frozenset())
+            ):
+                self._apply(self._orders[t], self._sizes[t], -1)
+                self._orders[t] = order
+                self._sizes[t] = sizes
+                reachable = frozenset(order.tolist())
+                self._reachable[t] = reachable
+                self._base_reachable[t] = reachable
+                self._apply(order, sizes, +1)
+            self._sync_bytes()
+        return len(keep)
 
     # ------------------------------------------------------------------
     # queries
@@ -673,6 +766,39 @@ class _ArenaSketchView:
     ) -> None:
         """Swap the touched samples' trees: one batched delta scatter,
         one postings patch, one arena scatter."""
+        # postings patch: kill every touched sample's postings, then
+        # revive the (vertex, sample) pairs its new tree still reaches
+        # — new reachability is always a subset of base reachability,
+        # so every pair resolves to an existing posting.  (Graph
+        # deltas break that invariant, which is why apply_delta
+        # rebuilds the postings instead of patching them.)
+        new_mask = _payload_mask(lengths)
+        kill_counts = (
+            self._samp_indptr[touched + 1] - self._samp_indptr[touched]
+        )
+        kill = np.repeat(
+            self._samp_indptr[touched], kill_counts
+        ) + ragged_arange(kill_counts)
+        self._post_alive[self._samp_pidx[kill]] = False
+        revive_keys = orders[new_mask] * self.theta + np.repeat(
+            touched, lengths - 1
+        )
+        self._post_alive[
+            np.searchsorted(self._post_key, revive_keys)
+        ] = True
+
+        self._scatter_trees(touched, lengths, orders, sizes)
+
+    def _scatter_trees(
+        self,
+        touched: np.ndarray,
+        lengths: np.ndarray,
+        orders: np.ndarray,
+        sizes: np.ndarray,
+    ) -> None:
+        """Delta aggregation plus arena write-back of rebuilt trees —
+        the postings-agnostic half shared by blocker rebases and graph
+        deltas."""
         old_lengths = self._lengths[touched]
         old_flat = np.repeat(
             self._starts[touched], old_lengths
@@ -699,24 +825,6 @@ class _ArenaSketchView:
                 verts, weights=weights, minlength=self.csr.n + 1
             )
         self._spread_sum += int(lengths.sum()) - int(old_lengths.sum())
-
-        # postings patch: kill every touched sample's postings, then
-        # revive the (vertex, sample) pairs its new tree still reaches
-        # — new reachability is always a subset of base reachability,
-        # so every pair resolves to an existing posting
-        kill_counts = (
-            self._samp_indptr[touched + 1] - self._samp_indptr[touched]
-        )
-        kill = np.repeat(
-            self._samp_indptr[touched], kill_counts
-        ) + ragged_arange(kill_counts)
-        self._post_alive[self._samp_pidx[kill]] = False
-        revive_keys = orders[new_mask] * self.theta + np.repeat(
-            touched, lengths - 1
-        )
-        self._post_alive[
-            np.searchsorted(self._post_key, revive_keys)
-        ] = True
 
         # arena write-back: in place when the new tree fits its slot
         # (the common case — blocking shrinks trees), appended with
@@ -746,6 +854,115 @@ class _ArenaSketchView:
             grown = np.empty(new_cap, dtype=np.int64)
             grown[: self._used] = getattr(self, name)[: self._used]
             setattr(self, name, grown)
+
+    # ------------------------------------------------------------------
+    # graph deltas: swap the graph under the view, rebuild few trees
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        csr: CSRGraph,
+        batch: SampleBatch,
+        touched: np.ndarray,
+        builder: TreeBuilder,
+        delta: GraphDelta,
+    ) -> int:
+        """Move this view onto the post-delta graph and samples.
+
+        Caller contract (:meth:`SketchIndex.apply_delta`): the view
+        was parked at the unblocked base while the *old* pool state
+        was live, so current trees equal base trees and the rebuilt
+        postings below need no aliveness patch; ``touched`` is the
+        pool's exact changed-sample set for this view's theta prefix.
+
+        The postings rows of the delta's source vertices narrow
+        ``touched`` further — a changed edge no sample's base tree
+        reaches the source of cannot change any tree
+        (:func:`_delta_sources`) — then only the surviving samples'
+        trees are rebuilt and scattered into the arena.  The arena is
+        re-compacted into cold-build order and the inverted membership
+        index is rebuilt from the post-delta trees (a graph insert can
+        extend reachability beyond the old base, so the kill/revive
+        patch of blocker rebases does not apply).  The resulting view
+        state is bit-identical to a cold build over the mutated graph.
+        Returns the number of trees rebuilt.
+        """
+        sources = _delta_sources(delta)
+        if touched.shape[0] and sources:
+            reach = np.unique(
+                self._post_samples[self._postings_rows(sources)]
+            )
+            touched = touched[
+                np.isin(touched, reach, assume_unique=True)
+            ]
+        self.csr = csr
+        self.batch = batch
+        self.builder = builder
+        count = int(touched.shape[0])
+        if count:
+            # build first: a builder failure raises here, before any
+            # state is touched (same discipline as rebase)
+            lengths, orders, sizes = builder.build_packed(
+                batch, touched, self.seeds, ()
+            )
+            self.stats.trees_built += count
+            self._promote()
+            self._scatter_trees(touched, lengths, orders, sizes)
+        if self._used != int(self._lengths.sum()):
+            # relocated slots (from this delta or earlier blocker
+            # rebases) leave dead slack a persisted artifact must not
+            # carry: repack into cold-build order
+            self._promote()
+            self._compact()
+        if count:
+            self._rebuild_postings()
+        self._sync_bytes()
+        return count
+
+    def _compact(self) -> None:
+        """Repack the arena contiguously in sample order — the exact
+        layout a cold build produces."""
+        flat = np.repeat(self._starts, self._lengths) + ragged_arange(
+            self._lengths
+        )
+        self._order_arena = self._order_arena[flat]
+        self._sizes_arena = self._sizes_arena[flat]
+        starts = np.zeros(self.theta, dtype=np.int64)
+        np.cumsum(self._lengths[:-1], out=starts[1:])
+        self._starts = starts
+        self._used = int(self._lengths.sum())
+
+    def _rebuild_postings(self) -> None:
+        """Rebuild the inverted membership index from the current
+        arena (all postings alive — only valid parked at the
+        unblocked base, where current trees are the base trees)."""
+        n = self.csr.n
+        counts = self._lengths - 1
+        flat = np.repeat(self._starts, self._lengths) + ragged_arange(
+            self._lengths
+        )
+        verts = self._order_arena[flat[_payload_mask(self._lengths)]]
+        sample_ids = np.repeat(
+            np.arange(self.theta, dtype=np.int64), counts
+        )
+        self._post_indptr, self._post_samples = postings_csr(
+            sample_ids, verts, n
+        )
+        self._post_alive = np.ones(
+            self._post_samples.shape[0], dtype=bool
+        )
+        self._post_key = (
+            np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(self._post_indptr)
+            )
+            * self.theta
+            + self._post_samples
+        )
+        self._samp_indptr = np.zeros(self.theta + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(self._post_samples, minlength=self.theta),
+            out=self._samp_indptr[1:],
+        )
+        self._samp_pidx = np.argsort(self._post_samples, kind="stable")
 
     # ------------------------------------------------------------------
     # queries
@@ -965,6 +1182,58 @@ class SketchIndex:
         """Resident bytes of the cached per-sample tree state (arena
         plus postings for arena views, per-tree arrays for legacy)."""
         return self.stats.tree_bytes
+
+    # ------------------------------------------------------------------
+    # incremental graph updates
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta) -> PoolDeltaReport:
+        """Apply a batch of edge mutations end to end, in place.
+
+        Patches the shared sample pool bit-identically to resampling
+        the mutated graph (:meth:`SamplePool.apply_delta`), swaps the
+        frozen CSR and tree builder for post-delta ones, and rebases
+        every cached view by rebuilding only the trees of samples
+        whose survived-edge set changed — everything else (arena
+        slots, postings rows, aggregated gains of untouched samples)
+        is kept.  Views parked on a non-empty blocker set are first
+        rebased to the unblocked base (their next query re-rebases),
+        and persistable views are re-saved under the post-delta
+        artifact key, so a later process over the mutated graph
+        rehydrates the patched state.  Returns the pool's report.
+        """
+        with span("sketch.delta"):
+            # park every view at the unblocked base while the OLD
+            # pool state is still live (sharded builds read the
+            # persisted pre-delta pool through worker mmaps); after
+            # this, current trees == base trees in every view, the
+            # contract the per-view delta path relies on
+            for view in self._views.values():
+                view.rebase(frozenset())
+            report = self.pool.apply_delta(delta)
+            self.csr = self.pool.csr
+            # the builder (and its forked worker pools) shipped the
+            # pre-delta CSR and sample paths: replace, don't patch
+            self.builder.close()
+            self.builder = TreeBuilder(
+                self.csr, workers=self.workers,
+                sample_paths=self.pool.cache_paths,
+            )
+            touched_hist, rebuilt_counter = _delta_metrics()
+            touched_hist.observe(report.touched_count)
+            for (seed_tuple, theta), view in self._views.items():
+                batch = self.pool.get(theta)
+                touched = report.touched[report.touched < theta]
+                rebuilt = view.apply_delta(
+                    self.csr, batch, touched, self.builder, delta
+                )
+                self.stats.delta_trees_rebuilt += rebuilt
+                self.stats.delta_samples_skipped += theta - rebuilt
+                rebuilt_counter.inc(rebuilt)
+                prefix = self._artifact_prefix(seed_tuple, theta)
+                if prefix is not None:
+                    view.save(prefix)
+            self.stats.deltas += 1
+            return report
 
     def close(self) -> None:
         """Drop the cached views and reap the tree-build worker pool

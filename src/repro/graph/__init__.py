@@ -1,6 +1,7 @@
 """Directed-graph substrate: structure, CSR layout, traversal, generators."""
 
 from .csr import CSRGraph
+from .delta import GraphDelta
 from .digraph import DiGraph
 from .generators import (
     barabasi_albert,
@@ -25,6 +26,7 @@ from .traversal import (
 __all__ = [
     "DiGraph",
     "CSRGraph",
+    "GraphDelta",
     "bfs_order",
     "dfs_preorder",
     "reachable_set",

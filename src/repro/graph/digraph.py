@@ -110,7 +110,16 @@ class DiGraph:
             self.add_edge(u, v, 1.0 - (1.0 - existing) * (1.0 - probability))
 
     def remove_edge(self, u: int, v: int) -> None:
-        """Delete edge ``u -> v``; raises ``KeyError`` if absent."""
+        """Delete edge ``u -> v``.
+
+        Raises the same named errors as :meth:`add_edge`:
+        :class:`IndexError` for an out-of-range vertex and
+        :class:`KeyError` naming ``(u, v)`` when the edge is absent.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._succ[u]:
+            raise KeyError(f"no edge ({u}, {v}) to remove")
         del self._succ[u][v]
         self._pred[v].remove(u)
         self._m -= 1

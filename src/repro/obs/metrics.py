@@ -451,25 +451,39 @@ def track(kind: str, obj: object) -> None:
 
     Holding only a weak reference: a dropped artifact leaves the sums
     the moment the collector garbage-collects it, so byte gauges track
-    residency rather than history.
+    residency rather than history.  No weakref *callback* is
+    registered — a callback would need ``_TRACKED_LOCK``, and the GC
+    can fire it on a thread already holding that lock (any allocation
+    inside :func:`tracked` is a trigger point), which self-deadlocks a
+    non-reentrant lock.  Dead references are pruned lazily on read
+    instead.
     """
-    key = id(obj)
-
-    def _cleanup(ref: "weakref.ref") -> None:
-        with _TRACKED_LOCK:
-            bucket = _TRACKED.get(kind)
-            if bucket is not None and bucket.get(key) is ref:
-                del bucket[key]
-
     with _TRACKED_LOCK:
-        _TRACKED.setdefault(kind, {})[key] = weakref.ref(obj, _cleanup)
+        _TRACKED.setdefault(kind, {})[id(obj)] = weakref.ref(obj)
 
 
 def tracked(kind: str) -> list[object]:
-    """The live tracked objects of one kind (a snapshot)."""
+    """The live tracked objects of one kind (a snapshot).
+
+    Prunes entries whose referent has been collected — the only place
+    the registry shrinks, always under the lock, never from a GC
+    callback.
+    """
     with _TRACKED_LOCK:
-        refs = list(_TRACKED.get(kind, {}).values())
-    return [obj for obj in (ref() for ref in refs) if obj is not None]
+        bucket = _TRACKED.get(kind)
+        if not bucket:
+            return []
+        live = []
+        dead = []
+        for key, ref in bucket.items():
+            obj = ref()
+            if obj is None:
+                dead.append(key)
+            else:
+                live.append(obj)
+        for key in dead:
+            del bucket[key]
+    return live
 
 
 def _sum_attr(kind: str, attr: str) -> Callable[[], float]:

@@ -32,7 +32,13 @@ artifacts resident and serves many queries against them:
     access-log prewarming and merged observability.
 """
 
-from .cache import Artifact, ArtifactCache, ArtifactKey, CacheStats
+from .cache import (
+    Artifact,
+    ArtifactCache,
+    ArtifactKey,
+    CacheStats,
+    DeltaJournal,
+)
 from .client import (
     BadParamsError,
     ConnectionLostError,
@@ -62,6 +68,7 @@ __all__ = [
     "ArtifactCache",
     "ArtifactKey",
     "CacheStats",
+    "DeltaJournal",
     "GraphEntry",
     "GraphRegistry",
     "default_registry",

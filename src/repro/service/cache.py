@@ -26,20 +26,34 @@ and the sketch's ``rehydrations`` gauge respectively).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from ..bench import pick_seeds, prepare_graph
 from ..core import solve_imin
 from ..engine import build_evaluator, EngineSpec, SamplePool
 from ..engine.sketch import LAYOUTS
+from ..graph import GraphDelta
 from ..obs import span, track
 from .registry import GraphRegistry
 
-__all__ = ["Artifact", "ArtifactCache", "ArtifactKey", "CacheStats"]
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "ArtifactKey",
+    "CacheStats",
+    "DeltaJournal",
+    "JOURNAL_VERSION",
+]
+
+JOURNAL_VERSION = 1
+"""Format version of the persisted per-graph delta journal."""
 
 
 @dataclass(frozen=True, order=True)
@@ -122,6 +136,115 @@ class CacheStats:
         }
 
 
+class DeltaJournal:
+    """Durable, replayable per-graph history of applied deltas.
+
+    The serving layer's ``update`` op mutates warm artifacts in place;
+    this journal is what makes those mutations survive the artifact's
+    death.  One JSON file per graph *name* under ``cache_dir`` (or
+    memory-only without one) records every applied delta with its
+    monotone ``seq``; :meth:`ArtifactCache._build` replays the history
+    onto the freshly prepared graph, so a rebuilt or restarted worker
+    lands on the *post-delta* pool fingerprint and rehydrates the
+    patched mmap artifacts instead of stale pre-delta ones.
+
+    ``seq`` is the exactly-once guard: :meth:`record` refuses (without
+    error) any sequence number at or below the last applied one, so a
+    client that resends an update after a dropped connection gets an
+    acknowledgement, never a double apply.  Writes are atomic
+    (tmp-then-rename) and serialised per graph name.
+    """
+
+    def __init__(self, cache_dir=None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._lock = threading.RLock()
+        self._entries: dict[str, list[dict]] = {}
+        self._loaded: set[str] = set()
+        self._graph_locks: dict[str, threading.RLock] = {}
+
+    def graph_lock(self, graph: str) -> threading.RLock:
+        """The per-graph mutex serialising seq-check + apply + append
+        — held by the caller across the engine mutation so two updates
+        to the same graph name can never interleave."""
+        with self._lock:
+            return self._graph_locks.setdefault(graph, threading.RLock())
+
+    def _path(self, graph: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        digest = hashlib.md5(graph.encode("utf-8")).hexdigest()[:16]
+        return self.cache_dir / f"deltas-{digest}.json"
+
+    def _load(self, graph: str) -> list[dict]:
+        with self._lock:
+            if graph in self._loaded:
+                return self._entries.setdefault(graph, [])
+            self._loaded.add(graph)
+            entries = self._entries.setdefault(graph, [])
+        path = self._path(graph)
+        if path is None or not path.exists():
+            return entries
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return entries
+        if (
+            not isinstance(payload, dict)
+            or payload.get("v") != JOURNAL_VERSION
+            or payload.get("graph") != graph
+        ):
+            return entries
+        for entry in payload.get("entries") or []:
+            if isinstance(entry, dict) and isinstance(
+                entry.get("seq"), int
+            ):
+                entries.append(entry)
+        return entries
+
+    def last_seq(self, graph: str) -> int:
+        """The highest applied sequence number; 0 before any update."""
+        entries = self._load(graph)
+        return entries[-1]["seq"] if entries else 0
+
+    def record(self, graph: str, delta: GraphDelta, seq: int) -> None:
+        """Append one applied delta (caller holds the graph lock and
+        has already applied the delta to the live artifact)."""
+        entries = self._load(graph)
+        if entries and seq <= entries[-1]["seq"]:
+            raise ValueError(
+                f"seq {seq} is not past the journal head "
+                f"{entries[-1]['seq']} for graph {graph!r}"
+            )
+        entries.append({"seq": seq, **delta.as_dict()})
+        self._persist(graph, entries)
+
+    def _persist(self, graph: str, entries: list[dict]) -> None:
+        path = self._path(graph)
+        if path is None:
+            return
+        payload = {
+            "v": JOURNAL_VERSION,
+            "graph": graph,
+            "entries": entries,
+        }
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(
+            json.dumps(payload, separators=(",", ":")), encoding="utf-8"
+        )
+        tmp.replace(path)
+
+    def replay(self, graph: str, target) -> int:
+        """Apply the journaled history to a freshly prepared graph;
+        returns the number of deltas replayed."""
+        entries = self._load(graph)
+        for entry in entries:
+            GraphDelta.from_dict(
+                {k: v for k, v in entry.items() if k != "seq"}
+            ).apply_to(target)
+        return len(entries)
+
+
 class Artifact:
     """One warm ``(graph, model, theta, seed)`` serving state.
 
@@ -173,6 +296,10 @@ class Artifact:
         )
         self.csr = self.pool.csr
         self.built_at = time.time()
+        self.applied_seq = 0
+        """Journal position this artifact's state reflects (set by the
+        cache: the journal head at build-replay time, advanced by each
+        applied update)."""
         self._lock = threading.RLock()
         # materialise (or mmap-attach) the samples up front: the cache
         # hands out *warm* artifacts, never lazily-cold ones
@@ -264,6 +391,42 @@ class Artifact:
             self.sketch.expected_spread(seeds, theta or self.key.theta)
 
     # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta) -> dict[str, object]:
+        """Patch the warm state with one batch of edge mutations.
+
+        Runs under the artifact lock, so it serialises with every
+        in-flight query: a spread that wins the lock answers against
+        the pre-delta graph, one that loses answers against the
+        post-delta graph — never a half-applied mix.  The sketch's
+        :meth:`~repro.engine.sketch.SketchIndex.apply_delta` patches
+        the *shared* selection pool (rebasing only touched trees and
+        re-persisting under the post-delta fingerprint); the judge's
+        independent stream-1 pool is patched the same way, and the
+        pooled evaluator just resyncs to the shared pool's new CSR.
+        """
+        with self._lock:
+            delta.check_against(self.graph)
+            rebuilt_before = self.sketch.stats.delta_trees_rebuilt
+            delta.apply_to(self.graph)
+            report = self.sketch.apply_delta(delta)
+            self.pooled.refresh_graph()
+            self.judge.apply_delta(delta)
+            self.csr = self.pool.csr
+            return {
+                "inserts": len(delta.inserts),
+                "deletes": len(delta.deletes),
+                "reweights": len(delta.reweights),
+                "touched_samples": report.touched_count,
+                "trees_rebuilt": (
+                    self.sketch.stats.delta_trees_rebuilt - rebuilt_before
+                ),
+                "n": self.csr.n,
+                "m": self.csr.m,
+            }
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     @property
@@ -287,6 +450,7 @@ class Artifact:
             "n": self.csr.n,
             "m": self.csr.m,
             "nbytes": self.nbytes,
+            "applied_seq": self.applied_seq,
             "pool": self.pool.stats.as_dict(),
             "sketch": self.sketch.stats.as_dict(),
         }
@@ -328,6 +492,10 @@ class ArtifactCache:
         """Worker processes for each artifact's batched sketch-tree
         builds (``None`` = serial; answers identical either way)."""
         self.stats = CacheStats()
+        self.journal = DeltaJournal(cache_dir)
+        """Per-graph delta history; replayed in :meth:`_build` so a
+        rebuilt artifact starts from the same mutated graph the live
+        one was patched to."""
         self.on_evict: "Callable[[ArtifactKey, Artifact], None] | None" = (
             None
         )
@@ -380,16 +548,91 @@ class ArtifactCache:
             # every (model, seed) variant and must stay
             # probability-free
             prepared = prepare_graph(raw.copy(), key.model, rng=key.seed)
-            artifact = Artifact(
-                key,
-                prepared,
-                cache_dir=self.cache_dir,
-                build_workers=self.build_workers,
-            )
+            # replay the journaled delta history before sampling: the
+            # pool fingerprint is a content hash of the mutated CSR,
+            # so the build lands exactly on the artifacts the live
+            # update path persisted — a restarted worker rehydrates
+            # the patched pool and trees, never a stale pre-delta copy
+            with self.journal.graph_lock(key.graph):
+                self.journal.replay(key.graph, prepared)
+                artifact = Artifact(
+                    key,
+                    prepared,
+                    cache_dir=self.cache_dir,
+                    build_workers=self.build_workers,
+                )
+                artifact.applied_seq = self.journal.last_seq(key.graph)
         self.stats.builds += 1
         if artifact.pool.stats.disk_loads:
             self.stats.rehydrations += 1
         return artifact
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        key: ArtifactKey,
+        delta: GraphDelta,
+        seq: int | None = None,
+    ) -> dict[str, object]:
+        """Apply one delta to the warm artifact for ``key``, journal
+        it, and invalidate stale siblings.
+
+        ``seq`` is the client's monotone sequence number (defaulting
+        to the journal head + 1).  A duplicate or lower ``seq`` is
+        *acknowledged without applying* (``applied: false``) — the
+        exactly-once contract that makes a blind client resend after a
+        dropped connection safe.  On success every other resident
+        artifact of the same graph *name* is evicted: their pools were
+        sampled from a graph that no longer matches the journal, and a
+        later request rebuilds them through the replay path instead.
+        """
+        with self.journal.graph_lock(key.graph):
+            last = self.journal.last_seq(key.graph)
+            if seq is None:
+                seq = last + 1
+            elif seq <= last:
+                return {"applied": False, "seq": seq, "last_seq": last}
+            artifact = self.get(key)
+            if artifact.applied_seq != last:
+                # a sibling key advanced the journal after this
+                # artifact was built: rebuild through the replay path
+                # so history applies in order, never interleaved
+                self.invalidate(key.graph, keep=None)
+                artifact = self.get(key)
+            outcome = artifact.apply_delta(delta)
+            artifact.applied_seq = seq
+            self.journal.record(key.graph, delta, seq)
+        invalidated = self.invalidate(key.graph, keep=key)
+        return {
+            "applied": True,
+            "seq": seq,
+            "last_seq": seq,
+            "invalidated_siblings": invalidated,
+            **outcome,
+        }
+
+    def invalidate(self, graph: str, keep: ArtifactKey | None = None) -> int:
+        """Evict every resident artifact of ``graph`` except ``keep``.
+
+        Used after an update: siblings (other model/theta/seed/layout
+        keys over the same name) were built against the pre-delta
+        graph and must rebuild through the journal replay."""
+        with self._lock:
+            stale = [
+                k for k in self._artifacts
+                if k.graph == graph and k != keep
+            ]
+            evicted = 0
+            for k in stale:
+                artifact = self._artifacts.pop(k)
+                if self.on_evict is not None:
+                    self.on_evict(k, artifact)
+                artifact.close()
+                self.stats.evictions += 1
+                evicted += 1
+            return evicted
 
     def _shrink(self) -> None:
         # never evict below one entry: the key just inserted must

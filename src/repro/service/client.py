@@ -46,7 +46,11 @@ IDEMPOTENT_OPS = frozenset(
 """Ops safe to resend after a dropped connection or a ``draining``
 reply: they either read state or converge to the same artifact/answer
 when repeated (``block`` is a deterministic function of its params).
-``shutdown`` and ``profile`` mutate and are never retried."""
+``shutdown`` and ``profile`` mutate and are never retried — and so is
+``update``: a graph delta is applied exactly once, so the client never
+blind-resends it.  Callers who want at-least-once delivery pass a
+monotone ``seq`` and resend explicitly; the server acknowledges a
+duplicate ``seq`` with ``applied: false`` instead of re-applying."""
 
 
 class ServiceError(RuntimeError):
@@ -396,6 +400,65 @@ class ServiceClient:
                 "num_seeds", num_seeds, minimum=1
             )
         return self.call("block", **params, **extra)
+
+    def update(
+        self,
+        *,
+        graph: str | None = None,
+        model: str | None = None,
+        theta: int | None = None,
+        seed: int | None = None,
+        layout: str | None = None,
+        inserts: Sequence[Sequence] | None = None,
+        deletes: Sequence[Sequence] | None = None,
+        reweights: Sequence[Sequence] | None = None,
+        seq: int | None = None,
+        **extra,
+    ) -> dict:
+        """Apply one batched graph delta to the keyed warm artifact.
+
+        ``inserts``/``reweights`` are ``(u, v, p)`` triples,
+        ``deletes`` are ``(u, v)`` pairs.  ``seq`` is a caller-chosen
+        monotone sequence number: the server applies each ``seq`` at
+        most once and acknowledges duplicates with ``applied: false``,
+        so an explicit resend after a dropped connection is safe.
+        ``update`` is *not* in :data:`IDEMPOTENT_OPS` — the client
+        never resends it automatically.
+        """
+        params = _key_params(graph, model, theta, seed, layout)
+        for name, edits, width in (
+            ("inserts", inserts, 3),
+            ("deletes", deletes, 2),
+            ("reweights", reweights, 3),
+        ):
+            if edits is None:
+                continue
+            if not isinstance(edits, (list, tuple)):
+                raise BadParamsError(
+                    f"{name} must be a list of edge edits", "bad_params"
+                )
+            checked = []
+            for edit in edits:
+                if not isinstance(edit, (list, tuple)) or (
+                    len(edit) != width
+                ):
+                    raise BadParamsError(
+                        f"{name} entries must have {width} fields",
+                        "bad_params",
+                    )
+                checked.append(list(edit))
+            params[name] = checked
+        if not any(
+            k in params for k in ("inserts", "deletes", "reweights")
+        ):
+            raise BadParamsError(
+                "update needs at least one of inserts, deletes, "
+                "reweights",
+                "bad_params",
+            )
+        if seq is not None:
+            params["seq"] = _check_int("seq", seq, minimum=1)
+        return self.call("update", **params, **extra)
 
     def shutdown(self) -> None:
         """Ask the server to exit; tolerates the connection dropping."""

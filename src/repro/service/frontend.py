@@ -73,9 +73,12 @@ __all__ = [
 ACCESS_LOG_VERSION = 1
 """Format version of the persisted access-log JSON."""
 
-_ROUTED_OPS = ("warm", "spread", "block")
+_ROUTED_OPS = ("warm", "spread", "block", "update")
 """Ops owned by exactly one shard (their graph's) and counted against
-the front end's global admission bound."""
+the front end's global admission bound.  ``update`` routes like a
+query: the owning shard's executor serialises the delta against that
+graph's in-flight work, and the shared ``cache_dir`` journal makes the
+mutation survive that worker's restart."""
 
 
 def shard_for(graph: str, workers: int) -> int:

@@ -46,6 +46,12 @@ Requests (all fields beyond ``op`` optional, with server defaults)::
     {"op": "spread", "graph": "toy", "seeds": [0], "blocked": [4]}
     {"op": "block",  "graph": "toy", "budget": 2,
      "algorithm": "greedy-replace"}
+    {"op": "update", "graph": "toy", "seq": 1,
+     "inserts": [[0, 5, 0.3]], "deletes": [[1, 2]],
+     "reweights": [[2, 3, 0.5]]}     # incremental graph delta: the
+                                     # artifact is patched in place
+                                     # (pool + touched sketch trees),
+                                     # journaled, and re-persisted
     {"op": "shutdown"}
 
 An ``"id"`` field, when present, is echoed in the response so
@@ -106,6 +112,7 @@ from typing import Callable, Sequence
 from ..core import ALGORITHMS
 from ..engine.sketch import LAYOUTS
 from ..engine.spec import MODELS
+from ..graph import GraphDelta
 from ..obs import (
     current_trace,
     DEFAULT_HZ,
@@ -385,12 +392,22 @@ class _ArtifactExecutor:
 
     def _execute_one(self, kind: str, params: dict):
         with span("service.evaluate"):
-            if kind == "spread":
-                return self._artifact.spread_many(
-                    list(params["seeds"]), [params["blocked"]],
-                    params["theta"],
-                )[0]
-            return self._artifact.block(**params)
+            return self._dispatch(kind, params)
+
+    def _dispatch(self, kind: str, params: dict):
+        if kind == "spread":
+            return self._artifact.spread_many(
+                list(params["seeds"]), [params["blocked"]],
+                params["theta"],
+            )[0]
+        if kind == "update":
+            # the work item carries a closure built by the service
+            # (journal seq check + Artifact.apply_delta + sibling
+            # invalidation); running it here — never coalesced — is
+            # what serialises a graph mutation against the in-flight
+            # queries sharing this executor
+            return params["apply"]()
+        return self._artifact.block(**params)
 
     def close(self) -> None:
         with self._mutex:
@@ -460,7 +477,7 @@ class _ArtifactExecutor:
             else:
                 try:
                     with use_trace(trace), span("service.evaluate"):
-                        result = self._artifact.block(**params)
+                        result = self._dispatch(kind, params)
                     future.set_result(result)
                 except Exception as error:  # noqa: BLE001 - to caller
                     future.set_exception(error)
@@ -712,6 +729,7 @@ class BlockerService:
             "warm": self._op_warm,
             "spread": self._op_spread,
             "block": self._op_block,
+            "update": self._op_update,
             # "shutdown" is transport-level; the TCP layer intercepts
             # it before dispatch and this entry only documents the op
             "shutdown": lambda request: "bye",
@@ -962,6 +980,58 @@ class BlockerService:
             trace=current_trace(),
         )
         return {**key.as_dict(), "seeds": seeds, "budget": budget, **outcome}
+
+    def _op_update(self, request: dict) -> dict:
+        """Apply one batched graph delta to the keyed warm artifact.
+
+        The delta rides the executor as its own (never-coalesced)
+        work-item kind, so it serialises with the in-flight spread and
+        block queries sharing the artifact — a query observes either
+        the whole delta or none of it.  ``seq`` is the client's
+        monotone sequence number: a duplicate (connection-reset
+        resend) is acknowledged with ``applied: false`` instead of
+        double-applied, which is why the client deliberately keeps
+        ``update`` *out* of its idempotent-retry set.  Applied deltas
+        land in the cache's journal, so evicted siblings and restarted
+        workers rebuild onto the post-delta graph and rehydrate the
+        re-persisted (post-delta fingerprint) mmap artifacts.
+        """
+        key = self._artifact_key(request)
+        payload = {
+            field_name: request[field_name]
+            for field_name in ("inserts", "deletes", "reweights")
+            if field_name in request
+        }
+        try:
+            delta = GraphDelta.from_dict(payload)
+        except (TypeError, ValueError) as error:
+            raise RequestError(str(error)) from error
+        if not delta:
+            raise RequestError(
+                "update needs at least one of inserts, deletes, "
+                "reweights"
+            )
+        seq = request.get("seq")
+        if seq is not None:
+            seq = _as_int(request, "seq", 0)
+            if seq < 1:
+                raise RequestError("seq must be >= 1")
+        with span("service.resolve"):
+            self._artifact(key)
+        try:
+            outcome = self._executor(key).submit(
+                "update",
+                {"apply": lambda: self.cache.apply_delta(key, delta, seq)},
+                trace=current_trace(),
+            )
+        except RequestError:
+            raise
+        except (KeyError, ValueError) as error:
+            # delta validation against the live graph (missing edge,
+            # existing insert, vertex out of range) surfaces from the
+            # executor as the engine's ValueError — client's fault
+            raise RequestError(str(error)) from error
+        return {**key.as_dict(), **outcome}
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -172,8 +172,10 @@ class TestDeprecatedSignatures:
             )
 
     def test_legacy_cache_key_format_preserved(self, graph, tmp_path):
-        """Old on-disk pool caches stay addressable: an integer rng on
-        the legacy path still derives seed{rng}-stream{stream}."""
+        """Pool caches stay addressable: an integer rng on the legacy
+        path still derives seed{rng}-stream{stream}, prefixed by the
+        coin-scheme tag so pools drawn under a different sample
+        distribution can never attach."""
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
             with build_evaluator(
@@ -187,7 +189,7 @@ class TestDeprecatedSignatures:
 
         csr = ev.csr
         key = hashlib.sha256()
-        key.update(f"{csr.n}:{csr.m}:seed5-stream0".encode())
+        key.update(f"{csr.n}:{csr.m}:coins2:seed5-stream0".encode())
         for array in (csr.indptr, csr.indices, csr.probs):
             key.update(np.ascontiguousarray(array).tobytes())
         assert digest == key.hexdigest()[:16]

@@ -690,6 +690,7 @@ def test_artifact_exposes_engine_stats(cache):
         "queries", "rebases", "trees_built", "samples_skipped",
         "tree_bytes", "arena_bytes", "postings_bytes",
         "rehydrations", "persists",
+        "deltas", "delta_trees_rebuilt", "delta_samples_skipped",
     }
 
 
